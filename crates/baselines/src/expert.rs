@@ -1,0 +1,300 @@
+//! Hand-written expert workflows — what a Xaminer/Nautilus specialist
+//! would build for each case-study query.
+//!
+//! The deliberate architectural choices mirror the paper's comparison:
+//! the expert leans on Xaminer's **high-level abstractions**
+//! (`xaminer.event_impact`, the embedding-style aggregation), while the
+//! agent — when those abstractions are withheld (CS1's controlled setup) —
+//! must derive an equivalent *direct processing pipeline* from core
+//! functions. Functional overlap is then measured by `metrics`.
+
+use registry::DataFormat as F;
+use workflow::{Step, Workflow};
+
+/// CS1 expert solution: country-level impact of a named cable failure,
+/// via Xaminer's high-level event processing.
+pub fn expert_cs1() -> Workflow {
+    Workflow::new(
+        "expert-cs1",
+        "Identify the impact at a country level due to SeaMeWe-5 cable failure",
+    )
+    .with_step(
+        Step::new("resolve", "nautilus.resolve_cable")
+            .bind_arg("cable_name", "cable_name", F::Text)
+            .because("identify the cable system in the cartography catalog"),
+    )
+    .with_step(
+        Step::new("event", "util.cable_failure_event")
+            .bind_step("cable", "resolve")
+            .because("express the what-if failure as an event"),
+    )
+    .with_step(
+        Step::new("impact", "xaminer.event_impact")
+            .bind_step("event", "event")
+            .because("Xaminer's embedding modules aggregate cross-layer metrics directly"),
+    )
+    .with_output("impact")
+}
+
+/// CS2 expert solution: multi-disaster what-if via the *same single
+/// event-processing function* applied per disaster kind, results combined
+/// — the paper's "handle earthquakes and hurricanes separately ... and
+/// combine results for comprehensive global impact metrics".
+pub fn expert_cs2() -> Workflow {
+    Workflow::new(
+        "expert-cs2",
+        "Identify the impact of severe earthquakes and hurricanes globally assuming a 10% \
+         infra failure probability",
+    )
+    .with_step(
+        Step::new("compile_eq", "util.compile_disasters")
+            .bind_arg("disasters", "earthquake_specs", F::DisasterSpecs)
+            .bind_arg("failure_probability", "failure_probability", F::Scalar)
+            .because("instantiate the seismic hazard zones at the stated probability"),
+    )
+    .with_step(
+        Step::new("impact_eq", "xaminer.event_impact")
+            .bind_step("event", "compile_eq")
+            .because("process the earthquake events"),
+    )
+    .with_step(
+        Step::new("compile_hu", "util.compile_disasters")
+            .bind_arg("disasters", "hurricane_specs", F::DisasterSpecs)
+            .bind_arg("failure_probability", "failure_probability", F::Scalar)
+            .because("instantiate the storm-belt zones at the stated probability"),
+    )
+    .with_step(
+        Step::new("impact_hu", "xaminer.event_impact")
+            .bind_step("event", "compile_hu")
+            .because("the same event-processing function handles hurricanes"),
+    )
+    .with_step(
+        Step::new("combined", "util.combine_impact_tables")
+            .bind_step("a", "impact_eq")
+            .bind_step("b", "impact_hu")
+            .because("combine per-disaster results into global metrics"),
+    )
+    .with_output("combined")
+}
+
+/// CS3 expert solution: corridor failure, cascade, and cross-layer
+/// temporal synthesis.
+pub fn expert_cs3() -> Workflow {
+    Workflow::new(
+        "expert-cs3",
+        "Analyze the cascading effects of submarine cable failures between Europe and Asia",
+    )
+    .with_step(
+        Step::new("map", "nautilus.map_links")
+            .because("cross-layer cartography for the corridor"),
+    )
+    .with_step(
+        Step::new("deps", "nautilus.dependency_table")
+            .bind_step("mapping", "map")
+            .because("cable to link/AS dependency view"),
+    )
+    .with_step(
+        Step::new("corridor", "util.corridor_failure_event")
+            .bind_arg("src_region", "src_region", F::RegionScope)
+            .bind_arg("dst_region", "dst_region", F::RegionScope)
+            .because("the main Europe-Asia systems as a compound failure"),
+    )
+    .with_step(
+        Step::new("impact", "xaminer.process_event")
+            .bind_step("event", "corridor")
+            .bind_step("deps", "deps")
+            .because("direct impact of the corridor failure"),
+    )
+    .with_step(
+        Step::new("cascade", "xaminer.cascade")
+            .bind_step("impact", "impact")
+            .because("load-redistribution cascade"),
+    )
+    .with_step(
+        Step::new("updates", "bgp.updates")
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("routing-layer evolution"),
+    )
+    .with_step(
+        Step::new("bursts", "bgp.detect_bursts")
+            .bind_step("updates", "updates")
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("reconvergence bursts"),
+    )
+    .with_step(
+        Step::new("campaign", "traceroute.campaign")
+            .bind_arg("src_region", "src_region", F::RegionScope)
+            .bind_arg("dst_region", "dst_region", F::RegionScope)
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("data-plane evolution"),
+    )
+    .with_step(
+        Step::new("anomaly", "traceroute.detect_anomaly")
+            .bind_step("campaign", "campaign")
+            .because("latency shift detection"),
+    )
+    .with_step(
+        Step::new("timeline", "util.build_timeline")
+            .bind_step("cascade", "cascade")
+            .bind_step("bursts", "bursts")
+            .bind_step("anomaly", "anomaly")
+            .because("unified cable/IP/AS/routing/latency timeline"),
+    )
+    .with_output("timeline")
+}
+
+/// CS4 expert solution: forensic root-cause investigation.
+pub fn expert_cs4() -> Workflow {
+    Workflow::new(
+        "expert-cs4",
+        "A sudden increase in latency was observed from European probes to Asian \
+         destinations starting three days ago. Determine if a submarine cable failure \
+         caused this, and if so, identify the specific cable.",
+    )
+    .with_step(
+        Step::new("campaign", "traceroute.campaign")
+            .bind_arg("src_region", "src_region", F::RegionScope)
+            .bind_arg("dst_region", "dst_region", F::RegionScope)
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("gather the latency record around the anomaly"),
+    )
+    .with_step(
+        Step::new("anomaly", "traceroute.detect_anomaly")
+            .bind_step("campaign", "campaign")
+            .because("baseline + significance assessment"),
+    )
+    .with_step(
+        Step::new("map", "nautilus.map_links")
+            .because("cross-layer mapping for suspect attribution"),
+    )
+    .with_step(
+        Step::new("deps", "nautilus.dependency_table")
+            .bind_step("mapping", "map")
+            .because("cable dependency view"),
+    )
+    .with_step(
+        Step::new("suspects", "util.score_suspect_cables")
+            .bind_step("anomaly", "anomaly")
+            .bind_step("deps", "deps")
+            .because("rank cables by likelihood of involvement"),
+    )
+    .with_step(
+        Step::new("updates", "bgp.updates")
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("independent routing evidence"),
+    )
+    .with_step(
+        Step::new("bursts", "bgp.detect_bursts")
+            .bind_step("updates", "updates")
+            .bind_arg("window", "window", F::TimeWindow)
+            .because("routing churn detection"),
+    )
+    .with_step(
+        Step::new("correlation", "util.correlate_evidence")
+            .bind_step("bursts", "bursts")
+            .bind_step("anomaly", "anomaly")
+            .because("temporal correlation of the two evidence streams"),
+    )
+    .with_step(
+        Step::new("verdict", "util.synthesize_verdict")
+            .bind_step("suspects", "suspects")
+            .bind_step("correlation", "correlation")
+            .bind_step("anomaly", "anomaly")
+            .because("causation with confidence"),
+    )
+    .with_output("verdict")
+}
+
+/// Query-argument values the expert would supply for each case study.
+pub fn expert_args(case: usize, horizon_end: i64) -> std::collections::BTreeMap<String, workflow::TypedValue> {
+    use workflow::TypedValue;
+    let mut args = std::collections::BTreeMap::new();
+    match case {
+        1 => {
+            args.insert(
+                "cable_name".to_string(),
+                TypedValue::new(F::Text, serde_json::json!("SeaMeWe-5")),
+            );
+        }
+        2 => {
+            args.insert(
+                "earthquake_specs".to_string(),
+                TypedValue::new(
+                    F::DisasterSpecs,
+                    serde_json::json!([{"kind": "earthquake", "qualifier": "severe"}]),
+                ),
+            );
+            args.insert(
+                "hurricane_specs".to_string(),
+                TypedValue::new(
+                    F::DisasterSpecs,
+                    serde_json::json!([{"kind": "hurricane", "qualifier": "globally"}]),
+                ),
+            );
+            args.insert(
+                "failure_probability".to_string(),
+                TypedValue::new(F::Scalar, serde_json::json!(0.1)),
+            );
+        }
+        3 | 4 => {
+            args.insert(
+                "src_region".to_string(),
+                TypedValue::new(F::RegionScope, serde_json::json!("Europe")),
+            );
+            args.insert(
+                "dst_region".to_string(),
+                TypedValue::new(F::RegionScope, serde_json::json!("Asia")),
+            );
+            args.insert(
+                "window".to_string(),
+                TypedValue::new(
+                    F::TimeWindow,
+                    serde_json::json!({"start": 0, "end": horizon_end}),
+                ),
+            );
+        }
+        other => panic!("no case study {other}"),
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toolkit::standard_registry;
+    use workflow::check;
+
+    #[test]
+    fn all_expert_workflows_typecheck() {
+        let registry = standard_registry();
+        for (i, wf) in [expert_cs1(), expert_cs2(), expert_cs3(), expert_cs4()]
+            .iter()
+            .enumerate()
+        {
+            let errors = check(wf, &registry);
+            assert!(errors.is_empty(), "expert CS{} fails: {errors:?}", i + 1);
+        }
+    }
+
+    #[test]
+    fn expert_cs3_spans_four_measurement_frameworks() {
+        let registry = standard_registry();
+        let fw = expert_cs3().frameworks_used(&registry);
+        for f in ["nautilus", "xaminer", "bgp", "traceroute"] {
+            assert!(fw.contains(&f.to_string()), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn expert_args_cover_declared_query_args() {
+        for (i, wf) in [expert_cs1(), expert_cs2(), expert_cs3(), expert_cs4()]
+            .iter()
+            .enumerate()
+        {
+            let args = expert_args(i + 1, 10 * 86_400);
+            for (name, _) in wf.query_args() {
+                assert!(args.contains_key(&name), "CS{}: missing arg {name}", i + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # baselines — expert solutions and comparison metrics
+//!
+//! The paper validates ArachNet by comparing generated workflows against
+//! expert implementations (the Xaminer specialists' solutions). This crate
+//! supplies both sides of that comparison:
+//!
+//! * [`expert`] — hand-written expert workflows for the four case studies,
+//!   built the way a Xaminer author would build them (using the
+//!   framework's own high-level abstractions where they exist);
+//! * [`metrics`] — the similarity measures the evaluation reports:
+//!   affected-set Jaccard, Spearman rank correlation of country impact
+//!   scores, function-set overlap, timeline alignment, and verdict
+//!   agreement.
+
+pub mod expert;
+pub mod metrics;
+
+pub use expert::{expert_cs1, expert_cs2, expert_cs3, expert_cs4};
+pub use metrics::{
+    country_table_similarity, function_overlap, spearman, timeline_alignment, CountrySimilarity,
+};

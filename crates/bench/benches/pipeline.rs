@@ -1,0 +1,52 @@
+//! Criterion benches for the agent pipeline: workflow generation latency
+//! per case study (E1–E4's "minutes instead of days" claim — here,
+//! milliseconds instead of days) and ensemble generation (E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use arachnet::{ensemble, ArachNet, DeterministicExpertModel};
+use arachnet_repro::CaseStudy;
+use toolkit::catalog;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for case in CaseStudy::ALL {
+        let scenario = case.scenario();
+        let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+        let context = catalog::query_context(&scenario.world, scenario.now, horizon_days);
+        let registry = case.registry();
+        let model = DeterministicExpertModel::new();
+        let system = ArachNet::new(&model, registry);
+        group.bench_function(format!("cs{}", case.index()), |b| {
+            b.iter(|| {
+                let solution =
+                    system.generate(case.query(), &context).expect("generation succeeds");
+                std::hint::black_box(solution.loc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let case = CaseStudy::Cs1CableImpact;
+    let scenario = case.scenario();
+    let context = catalog::query_context(&scenario.world, scenario.now, 10);
+    let registry = case.registry();
+    let model = DeterministicExpertModel::new();
+    let system = ArachNet::new(&model, registry);
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    group.bench_function("cs1_x5", |b| {
+        b.iter(|| {
+            let report = ensemble::generate_ensemble(&system, case.query(), &context, 5)
+                .expect("ensemble succeeds");
+            std::hint::black_box(report.consensus)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_ensemble);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E5 — the registry's "scales linearly with available tools" claim:
+//! planning latency as the registry grows with unrelated entries, plus
+//! search latency over the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arachnet_repro::CaseStudy;
+use llm::protocol::{DecomposeRequest, QueryContext};
+
+fn bench_planning_vs_registry_size(c: &mut Criterion) {
+    let context = QueryContext {
+        cable_names: vec!["SeaMeWe-5".into()],
+        now: 10 * 86_400,
+        horizon_days: 10,
+    };
+    let mut group = c.benchmark_group("registry_scaling/plan");
+    group.sample_size(10);
+    for pad in [0usize, 50, 100, 200, 400] {
+        let registry = benchkit::padded_registry(pad);
+        let decomposition = llm::expert::decompose(&DecomposeRequest {
+            query: CaseStudy::Cs2DisasterImpact.query().to_string(),
+            context: context.clone(),
+            registry: registry.clone(),
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(registry.len()), &pad, |b, _| {
+            b.iter(|| {
+                let plan = llm::planner::plan_architecture(&decomposition, &registry, 0)
+                    .expect("plannable");
+                std::hint::black_box(plan.steps.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_vs_registry_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_scaling/search");
+    for pad in [0usize, 100, 400] {
+        let registry = benchkit::padded_registry(pad);
+        group.bench_with_input(BenchmarkId::from_parameter(registry.len()), &pad, |b, _| {
+            b.iter(|| {
+                let hits = registry.search("rank suspect cables by latency evidence", 5);
+                std::hint::black_box(hits.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning_vs_registry_size, bench_search_vs_registry_size);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches for the measurement substrates: world generation,
+//! BGP route computation, the Nautilus mapping run, Xaminer event
+//! processing and cascade propagation, and traceroute measurement — the
+//! cost centres behind every case-study execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nautilus_sim::{DependencyTable, MappingConfig, NautilusMapper};
+use world::{generate, Scenario, WorldConfig};
+use xaminer_sim::{CascadeConfig, FailureEvent, XaminerEngine};
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    group.sample_size(10);
+    group.bench_function("generate_default", |b| {
+        b.iter(|| std::hint::black_box(generate(&WorldConfig::default()).links.len()))
+    });
+    group.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let mut group = c.benchmark_group("bgp");
+    group.sample_size(10);
+    group.bench_function("full_routing_table", |b| {
+        b.iter(|| {
+            let graph = bgp_sim::AsGraph::at_time(&scenario, net_model::SimTime::EPOCH);
+            let table = bgp_sim::RoutingTable::compute(&graph, &scenario.world);
+            std::hint::black_box(table.reachable_from(scenario.world.ases[0].asn))
+        })
+    });
+    group.finish();
+}
+
+fn bench_nautilus(c: &mut Criterion) {
+    let world = generate(&WorldConfig::default());
+    let mut group = c.benchmark_group("nautilus");
+    group.sample_size(10);
+    group.bench_function("map_world", |b| {
+        b.iter(|| {
+            let table = NautilusMapper::new(MappingConfig::default()).map_world(&world);
+            std::hint::black_box(table.mapped_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_xaminer(c: &mut Criterion) {
+    let world = generate(&WorldConfig::default());
+    let engine = XaminerEngine::oracle(&world);
+    let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+    let mut group = c.benchmark_group("xaminer");
+    group.bench_function("event_impact_report", |b| {
+        b.iter(|| {
+            let report = engine.impact_report(&FailureEvent::CableFailure { cable });
+            std::hint::black_box(report.total_links)
+        })
+    });
+    group.bench_function("cascade", |b| {
+        let initial = engine.process(&FailureEvent::CableFailure { cable });
+        let config = CascadeConfig { base_load: 0.75, ..CascadeConfig::default() };
+        b.iter(|| {
+            let tl = xaminer_sim::cascade::propagate(&world, &initial, &config);
+            std::hint::black_box(tl.depth())
+        })
+    });
+    group.finish();
+}
+
+fn bench_traceroute(c: &mut Criterion) {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let sim = traceroute_sim::TracerouteSimulator::new(&scenario);
+    let probe = scenario.world.probes[0].id;
+    let dst = scenario.world.prefixes[100].net.host(1);
+    let mut group = c.benchmark_group("traceroute");
+    group.bench_function("single_measurement", |b| {
+        b.iter(|| {
+            let tr = sim.measure(probe, dst, net_model::SimTime(3600), 0);
+            std::hint::black_box(tr.hops.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dependency_table(c: &mut Criterion) {
+    let world = generate(&WorldConfig::default());
+    let mapping = NautilusMapper::new(MappingConfig::default()).map_world(&world);
+    let mut group = c.benchmark_group("dependency");
+    group.bench_function("from_mapping", |b| {
+        b.iter(|| {
+            let deps = DependencyTable::from_mapping(&world, &mapping, 0.2);
+            std::hint::black_box(deps.cables().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world,
+    bench_bgp,
+    bench_nautilus,
+    bench_xaminer,
+    bench_traceroute,
+    bench_dependency_table
+);
+criterion_main!(benches);

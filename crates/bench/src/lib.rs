@@ -1,0 +1,194 @@
+//! # benchkit — shared evaluation helpers for benches and the report
+//! binary.
+//!
+//! The experiment ids (E1–E8, F1) map to DESIGN.md §4; every function here
+//! regenerates one of the paper's evaluation artifacts.
+
+use arachnet::{ensemble, ArachNet, DeterministicExpertModel};
+use arachnet_repro::{run_case_study, CaseStudy, CaseStudyRun};
+use baselines::metrics;
+use toolkit::data::{CountryTableData, TimelineData, VerdictData};
+use toolkit::{catalog, scenarios};
+
+/// One row of a case-study comparison (E1–E4).
+#[derive(Debug, Clone)]
+pub struct CaseStudyRow {
+    pub case: usize,
+    pub query: String,
+    pub paper_loc: usize,
+    pub measured_loc: usize,
+    pub steps: usize,
+    pub frameworks: Vec<String>,
+    pub function_overlap_with_expert: f64,
+    pub generated_all_ok: bool,
+    pub expert_all_ok: bool,
+}
+
+/// Runs a case study and summarizes the comparison row.
+pub fn case_study_row(case: CaseStudy) -> (CaseStudyRow, CaseStudyRun) {
+    let run = run_case_study(case);
+    let row = CaseStudyRow {
+        case: case.index(),
+        query: case.query().to_string(),
+        paper_loc: case.paper_loc(),
+        measured_loc: run.solution.loc,
+        steps: run.solution.workflow.steps.len(),
+        frameworks: measurement_frameworks(&run),
+        function_overlap_with_expert: metrics::function_overlap(
+            &run.solution.workflow,
+            &run.expert_workflow,
+        ),
+        generated_all_ok: run.report.all_ok(),
+        expert_all_ok: run.expert_report.all_ok(),
+    };
+    (row, run)
+}
+
+/// The *measurement* frameworks a solution integrates (nautilus, xaminer,
+/// bgp, traceroute) — the paper's "4 frameworks" counts these, not the
+/// util/qa plumbing.
+pub fn measurement_frameworks(run: &CaseStudyRun) -> Vec<String> {
+    run.solution
+        .frameworks
+        .iter()
+        .filter(|f| ["nautilus", "xaminer", "bgp", "traceroute"].contains(&f.as_str()))
+        .cloned()
+        .collect()
+}
+
+/// E1/E2 output similarity: generated vs expert country tables.
+pub fn country_similarity(run: &CaseStudyRun) -> Option<metrics::CountrySimilarity> {
+    let generated: CountryTableData = run.output_as()?;
+    let expert: CountryTableData = run.expert_output_as()?;
+    Some(metrics::country_table_similarity(&generated, &expert))
+}
+
+/// E3 output similarity: generated vs expert unified timelines.
+pub fn timeline_similarity(run: &CaseStudyRun) -> Option<f64> {
+    let generated: TimelineData = run.output_as()?;
+    let expert: TimelineData = run.expert_output_as()?;
+    Some(metrics::timeline_alignment(&generated, &expert, 6 * 3600))
+}
+
+/// E4: the generated verdict (and the expert one).
+pub fn verdicts(run: &CaseStudyRun) -> (Option<VerdictData>, Option<VerdictData>) {
+    (run.output_as(), run.expert_output_as())
+}
+
+/// E5: registry exploration cost vs registry size. Returns
+/// `(registry_size, planner_micros)` pairs for one decomposition planned
+/// against registries padded with `n` extra irrelevant entries.
+pub fn registry_scaling_curve(sizes: &[usize]) -> Vec<(usize, u128)> {
+    use llm::protocol::{DecomposeRequest, QueryContext};
+    let scenario = scenarios::cs2_scenario();
+    let context = QueryContext {
+        cable_names: scenario.world.cables.iter().map(|c| c.name.clone()).collect(),
+        now: scenario.now.seconds_since_epoch(),
+        horizon_days: 10,
+    };
+    let mut out = Vec::new();
+    for &n in sizes {
+        let registry = padded_registry(n);
+        let req = DecomposeRequest {
+            query: CaseStudy::Cs2DisasterImpact.query().to_string(),
+            context: context.clone(),
+            registry: registry.clone(),
+        };
+        let decomposition = llm::expert::decompose(&req);
+        let start = std::time::Instant::now();
+        let plan = llm::planner::plan_architecture(&decomposition, &registry, 0)
+            .expect("plannable at any padding");
+        let micros = start.elapsed().as_micros();
+        assert!(!plan.steps.is_empty());
+        out.push((registry.len(), micros));
+    }
+    out
+}
+
+/// The standard registry padded with `n` irrelevant (but well-typed)
+/// entries, to measure lookup/exploration scaling.
+pub fn padded_registry(n: usize) -> registry::Registry {
+    use registry::{CapabilityEntry, DataFormat, Param};
+    let mut r = catalog::standard_registry();
+    for i in 0..n {
+        r.register(
+            CapabilityEntry::new(
+                &format!("pad.tool_{i}"),
+                "pad",
+                "an unrelated capability for scaling measurements",
+                vec![Param::required("table", DataFormat::Table)],
+                DataFormat::Table,
+            )
+            .with_tags(&["padding"]),
+        )
+        .expect("padding ids are unique");
+    }
+    r
+}
+
+/// E6: ensemble consensus for a case-study query.
+pub fn ensemble_consensus(case: CaseStudy, n: usize) -> (f64, Vec<(String, f64)>) {
+    let scenario = case.scenario();
+    let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+    let context = catalog::query_context(&scenario.world, scenario.now, horizon_days);
+    let model = DeterministicExpertModel::new();
+    let system = ArachNet::new(&model, case.registry());
+    let report = ensemble::generate_ensemble(&system, case.query(), &context, n)
+        .expect("ensemble generation succeeds");
+    let agreements = report
+        .agreements
+        .iter()
+        .map(|a| (a.function.clone(), a.agreement))
+        .collect();
+    (report.consensus, agreements)
+}
+
+/// E7: registry evolution — run CS1–CS3, curate, and report what was
+/// added plus the before/after plan size for a repeat query.
+pub struct CurationExperiment {
+    pub added: Vec<String>,
+    pub rejected: usize,
+    pub steps_before: usize,
+    pub steps_after: usize,
+}
+
+pub fn curation_experiment() -> CurationExperiment {
+    let scenario = scenarios::cs2_scenario();
+    let context = catalog::query_context(&scenario.world, scenario.now, 10);
+    let model = DeterministicExpertModel::new();
+    let mut system = ArachNet::new(&model, catalog::standard_registry());
+
+    let query = CaseStudy::Cs2DisasterImpact.query();
+    let before = system.generate(query, &context).expect("generation succeeds");
+
+    // A corpus of successful runs (the paper's "as workflows are built and
+    // run successfully, patterns emerge").
+    let corpus = vec![before.summary(true), before.summary(true), before.summary(true)];
+    let outcome = system.curate(&corpus, 2).expect("curation succeeds");
+
+    let after = system.generate(query, &context).expect("generation succeeds");
+    CurationExperiment {
+        added: outcome.added.iter().map(|f| f.0.clone()).collect(),
+        rejected: outcome.rejected.len(),
+        steps_before: before.workflow.steps.len(),
+        steps_after: after.workflow.steps.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_registry_grows() {
+        let base = catalog::standard_registry().len();
+        assert_eq!(padded_registry(10).len(), base + 10);
+    }
+
+    #[test]
+    fn scaling_curve_has_requested_points() {
+        let curve = registry_scaling_curve(&[0, 20]);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].0 > curve[0].0);
+    }
+}

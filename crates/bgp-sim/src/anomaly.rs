@@ -1,0 +1,172 @@
+//! BGP anomaly detection over update streams.
+//!
+//! Two detectors the case-study workflows use:
+//!
+//! * **update bursts** — bucket the stream, model the per-bucket count as
+//!   roughly normal, flag buckets whose z-score exceeds a threshold. A
+//!   cable cut produces a sharp, short burst of withdrawals and
+//!   re-announcements; the forensic workflow (case study 4) correlates the
+//!   burst time with the latency anomaly onset.
+//! * **reachability losses** — `(peer, prefix)` pairs withdrawn and never
+//!   re-announced within the stream, the signature of a hard partition.
+
+use net_model::{Ipv4Net, SimTime, TimeWindow};
+use serde::{Deserialize, Serialize};
+
+use crate::updates::{BgpUpdate, UpdateKind};
+
+/// A detected burst of update activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBurst {
+    pub window: TimeWindow,
+    pub count: usize,
+    /// How many standard deviations above the stream mean.
+    pub z_score: f64,
+    /// Fraction of updates in the burst that are withdrawals.
+    pub withdrawal_fraction: f64,
+}
+
+/// Buckets the stream over `window` into `buckets` bins and returns bins
+/// whose count z-score is at least `z_threshold`.
+///
+/// With fewer than two non-empty buckets no baseline exists and the single
+/// active bucket is reported with an infinite z-score — an event in an
+/// otherwise silent stream is maximally anomalous.
+pub fn detect_update_bursts(
+    updates: &[BgpUpdate],
+    window: TimeWindow,
+    buckets: usize,
+    z_threshold: f64,
+) -> Vec<UpdateBurst> {
+    assert!(buckets > 0);
+    let bins = window.buckets(buckets);
+    let mut counts = vec![0usize; bins.len()];
+    let mut withdrawals = vec![0usize; bins.len()];
+    for u in updates {
+        if let Some(i) = bins.iter().position(|b| b.contains(u.time)) {
+            counts[i] += 1;
+            if u.is_withdraw() {
+                withdrawals[i] += 1;
+            }
+        }
+    }
+
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / n;
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+
+    let mut out = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let z = if sd > 0.0 {
+            (c as f64 - mean) / sd
+        } else {
+            f64::INFINITY
+        };
+        if z >= z_threshold {
+            out.push(UpdateBurst {
+                window: bins[i],
+                count: c,
+                z_score: z,
+                withdrawal_fraction: withdrawals[i] as f64 / c as f64,
+            });
+        }
+    }
+    out
+}
+
+/// `(peer, prefix)` pairs that were withdrawn and never re-announced later
+/// in the stream. Returns them with the withdrawal time.
+pub fn reachability_losses(updates: &[BgpUpdate]) -> Vec<(net_model::Asn, Ipv4Net, SimTime)> {
+    use std::collections::BTreeMap;
+    // Track the last update per (peer, prefix); stream is time-ordered.
+    let mut last: BTreeMap<(net_model::Asn, Ipv4Net), (bool, SimTime)> = BTreeMap::new();
+    for u in updates {
+        let is_withdraw = matches!(u.kind, UpdateKind::Withdraw);
+        last.insert((u.peer, u.prefix), (is_withdraw, u.time));
+    }
+    last.into_iter()
+        .filter(|(_, (w, _))| *w)
+        .map(|((peer, prefix), (_, t))| (peer, prefix, t))
+        .collect()
+}
+
+/// Counts updates per `(time bucket)` — a convenience series for plots and
+/// temporal correlation.
+pub fn update_rate_series(
+    updates: &[BgpUpdate],
+    window: TimeWindow,
+    buckets: usize,
+) -> Vec<(TimeWindow, usize)> {
+    let bins = window.buckets(buckets);
+    let mut counts = vec![0usize; bins.len()];
+    for u in updates {
+        if let Some(i) = bins.iter().position(|b| b.contains(u.time)) {
+            counts[i] += 1;
+        }
+    }
+    bins.into_iter().zip(counts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{Asn, SimDuration};
+    use world::{generate, EventKind, Scenario, WorldConfig};
+
+    fn cut_scenario_updates() -> (SimTime, TimeWindow, Vec<BgpUpdate>) {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+        let peers: Vec<Asn> = s.world.ases.iter().take(40).map(|a| a.asn).collect();
+        let ups = crate::updates::derive_updates(&s, &peers);
+        (cut, s.horizon, ups)
+    }
+
+    #[test]
+    fn burst_detected_at_cut_time() {
+        let (cut, horizon, ups) = cut_scenario_updates();
+        let bursts = detect_update_bursts(&ups, horizon, 240, 3.0);
+        assert!(!bursts.is_empty(), "cable cut must produce a burst");
+        let hit = bursts.iter().any(|b| b.window.contains(cut) || b.window.start >= cut);
+        assert!(hit, "burst should align with the cut");
+    }
+
+    #[test]
+    fn no_burst_in_quiet_stream() {
+        let horizon = TimeWindow::new(SimTime(0), SimTime(86_400));
+        let bursts = detect_update_bursts(&[], horizon, 24, 2.5);
+        assert!(bursts.is_empty());
+    }
+
+    #[test]
+    fn rate_series_counts_everything_inside_window() {
+        let (_, horizon, ups) = cut_scenario_updates();
+        let series = update_rate_series(&ups, horizon, 100);
+        let total: usize = series.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, ups.len());
+    }
+
+    #[test]
+    fn reachability_loss_requires_no_reannounce() {
+        use crate::updates::UpdateKind;
+        let pfx = Ipv4Net::parse("10.0.0.0/20").unwrap();
+        let peer = Asn(42);
+        let w = |t: i64| BgpUpdate { time: SimTime(t), peer, prefix: pfx, kind: UpdateKind::Withdraw };
+        let a = |t: i64| BgpUpdate {
+            time: SimTime(t),
+            peer,
+            prefix: pfx,
+            kind: UpdateKind::Announce { as_path: vec![peer] },
+        };
+        // Withdrawn then re-announced: not a loss.
+        assert!(reachability_losses(&[w(10), a(20)]).is_empty());
+        // Withdrawn last: a loss.
+        let losses = reachability_losses(&[a(5), w(30)]);
+        assert_eq!(losses, vec![(peer, pfx, SimTime(30))]);
+    }
+}

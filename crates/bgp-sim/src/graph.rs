@@ -1,0 +1,149 @@
+//! The AS-level graph as seen by BGP at one instant.
+//!
+//! Business relationships come from the world; an adjacency is *usable*
+//! only while at least one of its IP links is up. When a cable cut downs
+//! every link between two ASes, the adjacency vanishes and routing must
+//! find valley-free alternatives — that is the mechanism by which physical
+//! failures become routing events.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use net_model::{Asn, SimTime};
+use world::{RelKind, Scenario};
+
+/// Relationship of a neighbour from the perspective of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NeighborKind {
+    /// The neighbour pays us (we are their provider).
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+    /// We pay the neighbour (they are our provider).
+    Provider,
+}
+
+/// Immutable adjacency view of the AS graph at an instant.
+#[derive(Debug, Clone)]
+pub struct AsGraph {
+    /// node → (neighbour → kind-from-node's-perspective)
+    adj: BTreeMap<Asn, BTreeMap<Asn, NeighborKind>>,
+}
+
+impl AsGraph {
+    /// Builds the graph for the scenario at time `t`.
+    pub fn at_time(scenario: &Scenario, t: SimTime) -> AsGraph {
+        let down = scenario.links_down_at(t);
+        // Count live links per AS pair.
+        let mut live: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for link in &scenario.world.links {
+            if !down.contains(&link.id) {
+                live.insert(link.as_pair());
+            }
+        }
+        let mut adj: BTreeMap<Asn, BTreeMap<Asn, NeighborKind>> = BTreeMap::new();
+        for a in &scenario.world.ases {
+            adj.insert(a.asn, BTreeMap::new());
+        }
+        for rel in &scenario.world.relationships {
+            let pair = if rel.a <= rel.b { (rel.a, rel.b) } else { (rel.b, rel.a) };
+            if !live.contains(&pair) {
+                continue;
+            }
+            match rel.kind {
+                RelKind::ProviderCustomer => {
+                    // rel.a is provider of rel.b
+                    adj.get_mut(&rel.a).expect("known").insert(rel.b, NeighborKind::Customer);
+                    adj.get_mut(&rel.b).expect("known").insert(rel.a, NeighborKind::Provider);
+                }
+                RelKind::Peer => {
+                    adj.get_mut(&rel.a).expect("known").insert(rel.b, NeighborKind::Peer);
+                    adj.get_mut(&rel.b).expect("known").insert(rel.a, NeighborKind::Peer);
+                }
+            }
+        }
+        AsGraph { adj }
+    }
+
+    /// All nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) adjacencies.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Neighbours of `asn` with their kinds (from `asn`'s perspective).
+    pub fn neighbors(&self, asn: Asn) -> impl Iterator<Item = (Asn, NeighborKind)> + '_ {
+        self.adj.get(&asn).into_iter().flat_map(|m| m.iter().map(|(&n, &k)| (n, k)))
+    }
+
+    /// The customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors(asn).filter(|(_, k)| *k == NeighborKind::Customer).map(|(n, _)| n).collect()
+    }
+
+    /// The providers of `asn`.
+    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors(asn).filter(|(_, k)| *k == NeighborKind::Provider).map(|(n, _)| n).collect()
+    }
+
+    /// The peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors(asn).filter(|(_, k)| *k == NeighborKind::Peer).map(|(n, _)| n).collect()
+    }
+
+    /// Whether an adjacency exists.
+    pub fn adjacent(&self, a: Asn, b: Asn) -> bool {
+        self.adj.get(&a).map_or(false, |m| m.contains_key(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::SimDuration;
+    use world::{generate, EventKind, WorldConfig};
+
+    #[test]
+    fn graph_reflects_world_relationships() {
+        let world = generate(&WorldConfig::default());
+        let scenario = Scenario::quiet(world, 10);
+        let g = AsGraph::at_time(&scenario, scenario.now);
+        assert_eq!(g.node_count(), scenario.world.ases.len());
+        assert!(g.edge_count() > 100);
+    }
+
+    #[test]
+    fn provider_and_customer_views_are_mirrored() {
+        let world = generate(&WorldConfig::default());
+        let scenario = Scenario::quiet(world, 10);
+        let g = AsGraph::at_time(&scenario, scenario.now);
+        for asn in g.nodes().collect::<Vec<_>>() {
+            for cust in g.customers(asn) {
+                assert!(g.providers(cust).contains(&asn));
+            }
+            for peer in g.peers(asn) {
+                assert!(g.peers(peer).contains(&asn));
+            }
+        }
+    }
+
+    #[test]
+    fn cable_cut_can_remove_adjacencies() {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut_at = net_model::SimTime::EPOCH + SimDuration::days(5);
+        let scenario =
+            Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut_at);
+        let before = AsGraph::at_time(&scenario, cut_at - SimDuration::hours(1));
+        let after = AsGraph::at_time(&scenario, cut_at + SimDuration::hours(1));
+        assert!(after.edge_count() <= before.edge_count());
+    }
+}

@@ -1,0 +1,132 @@
+//! RIB snapshots: what a route collector sees at an instant.
+//!
+//! A [`RibSnapshot`] is the set of best routes from every collector peer to
+//! every announced prefix — the synthetic analogue of a RouteViews
+//! `bview`/RIB dump file.
+
+use std::collections::BTreeMap;
+
+use net_model::{Asn, Ipv4Net, SimTime};
+use serde::{Deserialize, Serialize};
+use world::Scenario;
+
+use crate::graph::AsGraph;
+use crate::routing::RoutingTable;
+
+/// One RIB entry: `peer` reaches `prefix` via `as_path`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    pub peer: Asn,
+    pub prefix: Ipv4Net,
+    /// AS path from peer to origin (peer first, origin last).
+    pub as_path: Vec<Asn>,
+}
+
+impl RibEntry {
+    /// The origin AS (last path element).
+    pub fn origin(&self) -> Asn {
+        *self.as_path.last().expect("paths are non-empty")
+    }
+}
+
+/// A full collector snapshot at `at`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RibSnapshot {
+    pub at: SimTime,
+    /// Entries in canonical (peer, prefix) order.
+    pub entries: Vec<RibEntry>,
+}
+
+impl RibSnapshot {
+    /// Captures the snapshot for the given collector peers at `t`.
+    pub fn capture(scenario: &Scenario, peers: &[Asn], t: SimTime) -> RibSnapshot {
+        let graph = AsGraph::at_time(scenario, t);
+        let routing = RoutingTable::compute(&graph, &scenario.world);
+        let mut entries = Vec::new();
+        for peer in peers {
+            for pfx in &scenario.world.prefixes {
+                if let Some(route) = routing.route(*peer, pfx.origin) {
+                    entries.push(RibEntry {
+                        peer: *peer,
+                        prefix: pfx.net,
+                        as_path: route.as_path.clone(),
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| (a.peer, a.prefix).cmp(&(b.peer, b.prefix)));
+        RibSnapshot { at: t, entries }
+    }
+
+    /// Entries of one peer.
+    pub fn for_peer(&self, peer: Asn) -> impl Iterator<Item = &RibEntry> + '_ {
+        self.entries.iter().filter(move |e| e.peer == peer)
+    }
+
+    /// Index by (peer, prefix) for diffing.
+    pub fn index(&self) -> BTreeMap<(Asn, Ipv4Net), &RibEntry> {
+        self.entries.iter().map(|e| ((e.peer, e.prefix), e)).collect()
+    }
+
+    /// Fraction of (peer, prefix) pairs with a route, relative to the full
+    /// cross product — a reachability health metric.
+    pub fn coverage(&self, peers: usize, prefixes: usize) -> f64 {
+        if peers == 0 || prefixes == 0 {
+            return 0.0;
+        }
+        self.entries.len() as f64 / (peers * prefixes) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::SimDuration;
+    use world::{generate, EventKind, WorldConfig};
+
+    fn scenario_with_cut() -> (Scenario, net_model::CableId, SimTime) {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+        (s, cable, cut)
+    }
+
+    #[test]
+    fn snapshot_is_canonical_and_covers_most_pairs() {
+        let (s, _, _) = scenario_with_cut();
+        let peers: Vec<Asn> = s.world.ases.iter().take(10).map(|a| a.asn).collect();
+        let rib = RibSnapshot::capture(&s, &peers, SimTime::EPOCH);
+        for w in rib.entries.windows(2) {
+            assert!((w[0].peer, w[0].prefix) < (w[1].peer, w[1].prefix));
+        }
+        let cov = rib.coverage(peers.len(), s.world.prefixes.len());
+        assert!(cov > 0.9, "coverage {cov}");
+    }
+
+    #[test]
+    fn entries_terminate_at_true_origin() {
+        let (s, _, _) = scenario_with_cut();
+        let peers = vec![s.world.ases[0].asn];
+        let rib = RibSnapshot::capture(&s, &peers, SimTime::EPOCH);
+        for e in &rib.entries {
+            let pfx = s.world.prefixes.iter().find(|p| p.net == e.prefix).unwrap();
+            assert_eq!(e.origin(), pfx.origin);
+        }
+    }
+
+    #[test]
+    fn cut_changes_some_paths() {
+        let (s, _, cut) = scenario_with_cut();
+        let peers: Vec<Asn> = s.world.ases.iter().map(|a| a.asn).take(30).collect();
+        let before = RibSnapshot::capture(&s, &peers, cut - SimDuration::hours(1));
+        let after = RibSnapshot::capture(&s, &peers, cut + SimDuration::hours(1));
+        let bi = before.index();
+        let changed = after
+            .entries
+            .iter()
+            .filter(|e| bi.get(&(e.peer, e.prefix)).map_or(true, |b| b.as_path != e.as_path))
+            .count();
+        assert!(changed > 0, "a major cable cut must move some best paths");
+    }
+}

@@ -1,0 +1,217 @@
+//! BGP update streams.
+//!
+//! Real collectors record a continuous update feed; the simulator derives
+//! an equivalent one by diffing routing state across every scenario event
+//! and emitting, per changed `(peer, prefix)`:
+//!
+//! * a **withdrawal** if the pair lost its route,
+//! * an **announcement** with the new path if it changed or appeared,
+//! * plus 0–2 deterministic *path-exploration transients* shortly after the
+//!   event (BGP's well-known convergence chatter), so update-burst
+//!   detectors have realistic texture to work on.
+//!
+//! Each update's timestamp is the event time plus a per-(peer, prefix)
+//! convergence jitter of up to two minutes, derived from `stable_hash`.
+
+use net_model::{Asn, Ipv4Net, SimTime};
+use serde::{Deserialize, Serialize};
+use world::events::stable_hash;
+use world::Scenario;
+
+use crate::rib::RibSnapshot;
+
+/// Kind of update.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// New best path announced.
+    Announce { as_path: Vec<Asn> },
+    /// Route withdrawn.
+    Withdraw,
+}
+
+/// One BGP update as recorded by the collector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpUpdate {
+    pub time: SimTime,
+    pub peer: Asn,
+    pub prefix: Ipv4Net,
+    pub kind: UpdateKind,
+}
+
+impl BgpUpdate {
+    /// Whether this is a withdrawal.
+    pub fn is_withdraw(&self) -> bool {
+        matches!(self.kind, UpdateKind::Withdraw)
+    }
+}
+
+/// Derives the full update stream for a scenario from the given collector
+/// peers, ordered by (time, peer, prefix).
+pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
+    let mut updates = Vec::new();
+    let timeline = scenario.timeline();
+    if timeline.is_empty() {
+        return updates;
+    }
+
+    let mut prev = RibSnapshot::capture(scenario, peers, scenario.horizon.start);
+    for (at, _) in timeline {
+        let after_t = SimTime(at.0 + 1);
+        let next = RibSnapshot::capture(scenario, peers, after_t);
+        diff_into(scenario, &prev, &next, at, &mut updates);
+        prev = next;
+    }
+
+    updates.sort_by(|a, b| (a.time, a.peer, a.prefix).cmp(&(b.time, b.peer, b.prefix)));
+    updates
+}
+
+fn diff_into(
+    scenario: &Scenario,
+    before: &RibSnapshot,
+    after: &RibSnapshot,
+    event_time: SimTime,
+    out: &mut Vec<BgpUpdate>,
+) {
+    let seed = scenario.world.seed;
+    let bi = before.index();
+    let ai = after.index();
+
+    // Withdrawals: in before, not in after.
+    for ((peer, prefix), _) in &bi {
+        if !ai.contains_key(&(*peer, *prefix)) {
+            let t = jittered(seed, event_time, *peer, prefix, 0);
+            out.push(BgpUpdate { time: t, peer: *peer, prefix: *prefix, kind: UpdateKind::Withdraw });
+        }
+    }
+
+    // Announcements: new or changed paths, with exploration transients.
+    for ((peer, prefix), entry) in &ai {
+        let changed = match bi.get(&(*peer, *prefix)) {
+            None => true,
+            Some(prev) => prev.as_path != entry.as_path,
+        };
+        if !changed {
+            continue;
+        }
+        // 0–2 transient longer paths before settling, deterministic.
+        let n_transients =
+            (stable_hash(&[seed, peer.0 as u64, prefix.network().0 as u64, 0xA11]) % 3) as usize;
+        for k in 0..n_transients {
+            // Transient: the final path with the next hop's provider chain
+            // artificially extended (prepend the peer again — synthetic
+            // "exploration" path, clearly longer).
+            let mut path = entry.as_path.clone();
+            if let Some(&first) = path.first() {
+                path.insert(0, first);
+            }
+            let t = jittered(seed, event_time, *peer, prefix, 1 + k as u64);
+            out.push(BgpUpdate {
+                time: t,
+                peer: *peer,
+                prefix: *prefix,
+                kind: UpdateKind::Announce { as_path: path },
+            });
+        }
+        let t = jittered(seed, event_time, *peer, prefix, 10);
+        out.push(BgpUpdate {
+            time: t,
+            peer: *peer,
+            prefix: *prefix,
+            kind: UpdateKind::Announce { as_path: entry.as_path.clone() },
+        });
+    }
+}
+
+/// Event time plus 0–89 s of deterministic convergence jitter. The jitter
+/// base depends only on `(peer, prefix)` so that later `stage`s land
+/// strictly later — transients always precede the settled path.
+fn jittered(seed: u64, event: SimTime, peer: Asn, prefix: &Ipv4Net, stage: u64) -> SimTime {
+    let h = stable_hash(&[seed, peer.0 as u64, prefix.network().0 as u64]);
+    let base = (h % 90) as i64; // 0–89 s
+    SimTime(event.0 + base + stage as i64 * 3 + 1)
+}
+
+/// Convenience: the updates within a half-open window.
+pub fn updates_in_window(updates: &[BgpUpdate], w: net_model::TimeWindow) -> Vec<&BgpUpdate> {
+    updates.iter().filter(|u| w.contains(u.time)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_model::{SimDuration, TimeWindow};
+    use world::{generate, EventKind, WorldConfig};
+
+    fn updates_for_cut() -> (Scenario, SimTime, Vec<BgpUpdate>) {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+        let peers: Vec<Asn> = s.world.ases.iter().take(40).map(|a| a.asn).collect();
+        let ups = derive_updates(&s, &peers);
+        (s, cut, ups)
+    }
+
+    #[test]
+    fn quiet_scenario_produces_no_updates() {
+        let world = generate(&WorldConfig::default());
+        let s = Scenario::quiet(world, 10);
+        let peers: Vec<Asn> = s.world.ases.iter().take(10).map(|a| a.asn).collect();
+        assert!(derive_updates(&s, &peers).is_empty());
+    }
+
+    #[test]
+    fn updates_cluster_after_the_event() {
+        let (_, cut, ups) = updates_for_cut();
+        assert!(!ups.is_empty());
+        for u in &ups {
+            assert!(u.time >= cut, "update at {} before cut {}", u.time, cut);
+            assert!(u.time.0 <= cut.0 + 600, "update too late: {}", u.time);
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_and_deterministic() {
+        let (_, _, ups1) = updates_for_cut();
+        let (_, _, ups2) = updates_for_cut();
+        assert_eq!(ups1, ups2);
+        for w in ups1.windows(2) {
+            assert!((w[0].time, w[0].peer, w[0].prefix) <= (w[1].time, w[1].peer, w[1].prefix));
+        }
+    }
+
+    #[test]
+    fn transients_precede_settled_announcement() {
+        let (_, _, ups) = updates_for_cut();
+        use std::collections::BTreeMap;
+        let mut last_settled: BTreeMap<(Asn, Ipv4Net), SimTime> = BTreeMap::new();
+        for u in &ups {
+            if let UpdateKind::Announce { as_path } = &u.kind {
+                // settled paths are simple (no duplicated head)
+                if as_path.len() < 2 || as_path[0] != as_path[1] {
+                    last_settled.insert((u.peer, u.prefix), u.time);
+                }
+            }
+        }
+        for u in &ups {
+            if let UpdateKind::Announce { as_path } = &u.kind {
+                if as_path.len() >= 2 && as_path[0] == as_path[1] {
+                    let settled = last_settled.get(&(u.peer, u.prefix)).copied();
+                    if let Some(st) = settled {
+                        assert!(u.time < st, "transient after settle for {}", u.prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_filter_works() {
+        let (_, cut, ups) = updates_for_cut();
+        let w = TimeWindow::new(cut, SimTime(cut.0 + 600));
+        assert_eq!(updates_in_window(&ups, w).len(), ups.len());
+        let empty = TimeWindow::new(SimTime::EPOCH, cut);
+        assert!(updates_in_window(&ups, empty).is_empty());
+    }
+}

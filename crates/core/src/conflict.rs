@@ -1,0 +1,143 @@
+//! Conflicting-tool-outputs resolution — §5 of the paper: "BGP routing
+//! tables might show one path while traceroute reveals actual packet
+//! travel through different routes". This module implements the proposed
+//! mitigation: detect disagreements between evidence sources and resolve
+//! them by reliability-weighted voting, reporting a confidence score and
+//! an explanation instead of silently picking one side.
+
+use serde::{Deserialize, Serialize};
+
+/// One claim from one measurement source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// Which tool/framework produced the claim.
+    pub source: String,
+    /// Historical reliability of that source, `[0, 1]`.
+    pub reliability: f64,
+    /// The claimed value (free-form key — e.g. a cable name, a path hash).
+    pub verdict: String,
+}
+
+/// The outcome of resolving a set of claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// The winning verdict.
+    pub verdict: String,
+    /// Weighted support for the winner, `(0, 1]`.
+    pub confidence: f64,
+    /// Whether any source disagreed with the winner.
+    pub conflicted: bool,
+    /// Dissenting sources and their verdicts.
+    pub dissent: Vec<(String, String)>,
+    /// Human-readable explanation of the decision.
+    pub explanation: String,
+}
+
+/// Resolves claims by reliability-weighted voting.
+///
+/// Returns `None` for an empty claim set — "no evidence" must stay
+/// distinguishable from "confident verdict".
+pub fn resolve(claims: &[Claim]) -> Option<Resolution> {
+    if claims.is_empty() {
+        return None;
+    }
+    // Aggregate weight per verdict, in deterministic order.
+    let mut weights: Vec<(String, f64)> = Vec::new();
+    for c in claims {
+        let w = c.reliability.clamp(0.0, 1.0);
+        match weights.iter_mut().find(|(v, _)| v == &c.verdict) {
+            Some((_, total)) => *total += w,
+            None => weights.push((c.verdict.clone(), w)),
+        }
+    }
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let (winner, winner_weight) = weights[0].clone();
+
+    let dissent: Vec<(String, String)> = claims
+        .iter()
+        .filter(|c| c.verdict != winner)
+        .map(|c| (c.source.clone(), c.verdict.clone()))
+        .collect();
+    let conflicted = !dissent.is_empty();
+
+    let explanation = if conflicted {
+        format!(
+            "sources disagree; '{winner}' wins with {:.0}% of reliability-weighted support \
+             ({} dissenting source(s))",
+            100.0 * winner_weight / total,
+            dissent.len()
+        )
+    } else {
+        format!("all {} source(s) agree on '{winner}'", claims.len())
+    };
+
+    Some(Resolution {
+        verdict: winner,
+        confidence: winner_weight / total,
+        conflicted,
+        dissent,
+        explanation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(source: &str, reliability: f64, verdict: &str) -> Claim {
+        Claim { source: source.into(), reliability, verdict: verdict.into() }
+    }
+
+    #[test]
+    fn unanimous_claims_resolve_with_full_confidence() {
+        let r = resolve(&[
+            claim("bgp", 0.9, "SeaMeWe-5"),
+            claim("traceroute", 0.8, "SeaMeWe-5"),
+        ])
+        .unwrap();
+        assert_eq!(r.verdict, "SeaMeWe-5");
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!(!r.conflicted);
+        assert!(r.dissent.is_empty());
+    }
+
+    #[test]
+    fn reliability_weights_break_ties() {
+        // Two sources claim A (total 0.5+0.4=0.9), one reliable source
+        // claims B (0.95): A still wins on weight, but barely.
+        let r = resolve(&[
+            claim("s1", 0.5, "A"),
+            claim("s2", 0.4, "A"),
+            claim("s3", 0.95, "B"),
+        ])
+        .unwrap();
+        assert_eq!(r.verdict, "B");
+        assert!(r.conflicted);
+        assert_eq!(r.dissent.len(), 2);
+        assert!(r.confidence > 0.5);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_claims_return_none() {
+        assert!(resolve(&[]).is_none());
+        assert!(resolve(&[claim("s", 0.0, "A")]).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break_on_equal_weight() {
+        let r1 = resolve(&[claim("s1", 0.5, "B"), claim("s2", 0.5, "A")]).unwrap();
+        let r2 = resolve(&[claim("s2", 0.5, "A"), claim("s1", 0.5, "B")]).unwrap();
+        assert_eq!(r1.verdict, r2.verdict, "ties must resolve deterministically");
+        assert_eq!(r1.verdict, "A", "lexicographic tie-break");
+    }
+
+    #[test]
+    fn explanation_mentions_dissent() {
+        let r = resolve(&[claim("bgp", 0.9, "X"), claim("tr", 0.3, "Y")]).unwrap();
+        assert!(r.explanation.contains("disagree"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # arachnet — the four-agent workflow composition pipeline
+//!
+//! The paper's core contribution (Figure 1): four specialized agents that
+//! mirror expert workflow, coordinated over a capability registry.
+//!
+//! * [`agents::QueryMind`] — problem analysis & decomposition;
+//! * [`agents::WorkflowScout`] — solution space exploration & design;
+//! * [`agents::SolutionWeaver`] — implementation (typed workflow IR plus
+//!   rendered source code);
+//! * [`agents::RegistryCurator`] — systematic registry evolution.
+//!
+//! The [`ArachNet`] orchestrator chains them: by default in **standard**
+//! mode (fully automated); in **expert** mode domain specialists review
+//! and adjust the intermediate artifacts between stages ([`ExpertHooks`]).
+//! [`ensemble`] implements the paper's proposed ensemble-confidence
+//! mechanism (§5, Trust & Verification) and [`conflict`] the
+//! conflicting-tool-outputs mitigation (§5).
+
+pub mod agents;
+pub mod conflict;
+pub mod ensemble;
+pub mod orchestrator;
+
+pub use agents::{AgentConfig, AgentError};
+pub use ensemble::{EnsembleReport, FunctionAgreement};
+pub use orchestrator::{ArachNet, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError};
+
+// Re-export the protocol so downstream users see one coherent API.
+pub use llm::protocol;
+pub use llm::{DeterministicExpertModel, LanguageModel};

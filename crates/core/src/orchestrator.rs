@@ -1,0 +1,461 @@
+//! The coordinated pipeline: QueryMind → WorkflowScout → SolutionWeaver,
+//! with RegistryCurator evolving the registry between runs.
+
+use std::collections::BTreeMap;
+
+use llm::protocol::*;
+use llm::LanguageModel;
+use registry::{CapabilityEntry, DataFormat, FunctionId, Implementation, Registry};
+use workflow::{check, to_source, Binding, Step, TypedValue, Workflow};
+
+use crate::agents::{
+    AgentConfig, AgentError, QueryMind, RegistryCurator, SolutionWeaver, WorkflowScout,
+};
+
+/// Expert-mode hooks: specialists can review and adjust outputs between
+/// agents before the pipeline proceeds (§3, "expert mode").
+#[derive(Default)]
+pub struct ExpertHooks {
+    /// Adjust scope/constraints after QueryMind.
+    pub adjust_decomposition: Option<Box<dyn Fn(Decomposition) -> Decomposition + Send + Sync>>,
+    /// Steer the architecture after WorkflowScout.
+    pub adjust_architecture:
+        Option<Box<dyn Fn(ArchitecturePlan) -> ArchitecturePlan + Send + Sync>>,
+    /// Review the final workflow; returned notes are attached to the
+    /// solution.
+    pub review_workflow: Option<Box<dyn Fn(&Workflow) -> Vec<String> + Send + Sync>>,
+}
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum PipelineError {
+    Agent(AgentError),
+    /// The generated workflow failed validation even after repair rounds.
+    Validation { errors: Vec<String>, repair_attempts: usize },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Agent(e) => write!(f, "agent failure: {e}"),
+            PipelineError::Validation { errors, repair_attempts } => write!(
+                f,
+                "workflow failed validation after {repair_attempts} repair attempt(s): {}",
+                errors.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<AgentError> for PipelineError {
+    fn from(e: AgentError) -> Self {
+        PipelineError::Agent(e)
+    }
+}
+
+/// A complete generated solution.
+#[derive(Debug, Clone)]
+pub struct GeneratedSolution {
+    pub query: String,
+    pub decomposition: Decomposition,
+    pub architecture: ArchitecturePlan,
+    /// The executable workflow program.
+    pub workflow: Workflow,
+    /// Rendered Python-like source (the artifact users read and run).
+    pub source_code: String,
+    /// Non-empty source lines — the paper's LoC metric.
+    pub loc: usize,
+    pub frameworks: Vec<String>,
+    pub qa_measures: Vec<String>,
+    /// Validation-repair rounds that were needed.
+    pub repair_attempts: usize,
+    /// Expert-mode review notes, if any.
+    pub expert_notes: Vec<String>,
+}
+
+impl GeneratedSolution {
+    /// Query-argument values for executing the workflow, resolved by
+    /// QueryMind during decomposition.
+    pub fn query_args(&self) -> BTreeMap<String, TypedValue> {
+        self.decomposition
+            .provided_args
+            .iter()
+            .map(|(name, a)| (name.clone(), TypedValue::new(a.format, a.value.clone())))
+            .collect()
+    }
+
+    /// Summary for the curator corpus.
+    pub fn summary(&self, success: bool) -> WorkflowSummary {
+        WorkflowSummary {
+            id: self.workflow.id.clone(),
+            functions: self.workflow.steps.iter().map(|s| s.function.0.clone()).collect(),
+            success,
+        }
+    }
+}
+
+/// Result of a curation pass.
+#[derive(Debug, Clone, Default)]
+pub struct CurationOutcome {
+    /// Composites added to the registry.
+    pub added: Vec<FunctionId>,
+    /// Patterns rejected, with reasons.
+    pub rejected: Vec<(String, String)>,
+}
+
+/// The ArachNet system: a model, a registry, and the coordinated pipeline.
+pub struct ArachNet<'m> {
+    model: &'m dyn LanguageModel,
+    registry: Registry,
+    config: AgentConfig,
+    /// How many repair rounds SolutionWeaver gets when validation fails.
+    max_repairs: usize,
+}
+
+impl<'m> ArachNet<'m> {
+    /// Builds the system over a model and an initial registry.
+    pub fn new(model: &'m dyn LanguageModel, registry: Registry) -> Self {
+        ArachNet { model, registry, config: AgentConfig::default(), max_repairs: 2 }
+    }
+
+    /// Current registry (evolves through curation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Standard mode: fully automated.
+    pub fn generate(
+        &self,
+        query: &str,
+        context: &QueryContext,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        self.generate_inner(query, context, 0, &ExpertHooks::default())
+    }
+
+    /// Expert mode: hooks run between stages.
+    pub fn generate_expert(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        hooks: &ExpertHooks,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        self.generate_inner(query, context, 0, hooks)
+    }
+
+    /// Variant-seeded generation (used by the ensemble machinery).
+    pub fn generate_variant(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        self.generate_inner(query, context, variant, &ExpertHooks::default())
+    }
+
+    fn generate_inner(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+        hooks: &ExpertHooks,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        // Stage 1: QueryMind.
+        let querymind = QueryMind::new(self.model, self.config.clone());
+        let mut decomposition = querymind.run(query, context, &self.registry)?;
+        if let Some(hook) = &hooks.adjust_decomposition {
+            decomposition = hook(decomposition);
+        }
+
+        // Stage 2: WorkflowScout.
+        let scout = WorkflowScout::new(self.model, self.config.clone());
+        let mut architecture = scout.run(&decomposition, &self.registry, variant)?;
+        if let Some(hook) = &hooks.adjust_architecture {
+            architecture = hook(architecture);
+        }
+
+        // Stage 3: SolutionWeaver, with a validation-repair loop.
+        let weaver = SolutionWeaver::new(self.model, self.config.clone());
+        let mut feedback: Vec<String> = Vec::new();
+        let mut repair_attempts = 0usize;
+        let (workflow, implementation) = loop {
+            let implementation =
+                weaver.run(&decomposition, &architecture, &self.registry, feedback.clone())?;
+            let wf = to_workflow(query, &decomposition, &implementation);
+            let errors = check(&wf, &self.registry);
+            if errors.is_empty() {
+                break (wf, implementation);
+            }
+            repair_attempts += 1;
+            if repair_attempts > self.max_repairs {
+                return Err(PipelineError::Validation {
+                    errors: errors.iter().map(|e| e.to_string()).collect(),
+                    repair_attempts,
+                });
+            }
+            feedback = errors.iter().map(|e| e.to_string()).collect();
+        };
+
+        let source_code = to_source(&workflow, &self.registry);
+        let loc = workflow::loc(&source_code);
+        let frameworks = workflow.frameworks_used(&self.registry);
+        let expert_notes = hooks
+            .review_workflow
+            .as_ref()
+            .map(|hook| hook(&workflow))
+            .unwrap_or_default();
+
+        Ok(GeneratedSolution {
+            query: query.to_string(),
+            decomposition,
+            architecture,
+            workflow,
+            source_code,
+            loc,
+            frameworks,
+            qa_measures: implementation.qa_measures,
+            repair_attempts,
+            expert_notes,
+        })
+    }
+
+    /// Stage 4: RegistryCurator. Validated composites are registered;
+    /// the registry grows organically.
+    pub fn curate(
+        &mut self,
+        corpus: &[WorkflowSummary],
+        min_uses: usize,
+    ) -> Result<CurationOutcome, PipelineError> {
+        let curator = RegistryCurator::new(self.model, self.config.clone());
+        let proposal = curator.run(corpus, &self.registry, min_uses)?;
+
+        let mut outcome = CurationOutcome {
+            rejected: proposal.rejected.clone(),
+            ..Default::default()
+        };
+        for composite in proposal.composites {
+            let sequence: Vec<FunctionId> =
+                composite.sequence.iter().map(|s| FunctionId::from(s.as_str())).collect();
+            // Derive the composite's signature from its parts: the inputs
+            // of the whole chain that are not satisfied internally, and the
+            // final function's output.
+            let Some(last) = sequence.last().and_then(|id| self.registry.get(id)) else {
+                outcome
+                    .rejected
+                    .push((composite.id.clone(), "sequence references unknown functions".into()));
+                continue;
+            };
+            let output = last.output;
+            let mut inputs: Vec<registry::Param> = Vec::new();
+            let mut produced: Vec<DataFormat> = Vec::new();
+            for fid in &sequence {
+                let entry = self.registry.get(fid).expect("validated in curate()");
+                for p in entry.required_inputs() {
+                    let satisfied_internally =
+                        produced.iter().any(|f| f.compatible_with(p.format));
+                    let already_declared = inputs.iter().any(|q| q.name == p.name);
+                    if !satisfied_internally && !already_declared {
+                        inputs.push(p.clone());
+                    }
+                }
+                produced.push(entry.output);
+            }
+            let entry = CapabilityEntry {
+                id: FunctionId::from(composite.id.as_str()),
+                framework: "composite".to_string(),
+                capability: composite.capability.clone(),
+                inputs,
+                output,
+                constraints: vec![format!(
+                    "mined from {} successful workflow(s)",
+                    composite.observed_uses
+                )],
+                tags: vec!["composite".into(), "curated".into()],
+                cost: registry::CostClass::Moderate,
+                reliability: 0.85,
+                implementation: Implementation::Composite { sequence },
+            };
+            match self.registry.register(entry) {
+                Ok(()) => outcome.added.push(FunctionId::from(composite.id.as_str())),
+                Err(e) => outcome.rejected.push((composite.id.clone(), e.to_string())),
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Converts an implementation plan into the executable workflow IR.
+fn to_workflow(
+    query: &str,
+    decomposition: &Decomposition,
+    plan: &ImplementationPlan,
+) -> Workflow {
+    let mut wf = Workflow::new(&plan.workflow_id, query);
+    for planned in &plan.steps {
+        let mut step = Step::new(&planned.id, &planned.function).because(&planned.rationale);
+        for (param, binding) in &planned.bindings {
+            let b = match binding {
+                PlannedBinding::FromStep(sid) => Binding::Step(workflow::StepId(sid.clone())),
+                PlannedBinding::FromArg(name) => {
+                    let format = decomposition
+                        .provided_args
+                        .get(name)
+                        .map(|a| a.format)
+                        .unwrap_or(DataFormat::Any);
+                    Binding::QueryArg { name: name.clone(), format }
+                }
+                PlannedBinding::Const { format, value } => {
+                    Binding::Const { format: *format, value: value.clone() }
+                }
+            };
+            step = step.bind(param, b);
+        }
+        wf.push(step);
+    }
+    for out in &plan.outputs {
+        wf = wf.with_output(out);
+    }
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::DeterministicExpertModel;
+    use registry::Param;
+
+    fn mini_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CapabilityEntry::new(
+            "util.compile_disasters",
+            "util",
+            "compiles disaster specs into failure events",
+            vec![
+                Param::required("disasters", DataFormat::DisasterSpecs),
+                Param::required("failure_probability", DataFormat::Scalar),
+            ],
+            DataFormat::FailureEventSpec,
+        ))
+        .unwrap();
+        r.register(CapabilityEntry::new(
+            "xaminer.event_impact",
+            "xaminer",
+            "processes failure events into a country impact table",
+            vec![Param::required("event", DataFormat::FailureEventSpec)],
+            DataFormat::CountryImpactTable,
+        ))
+        .unwrap();
+        r.register(CapabilityEntry::new(
+            "qa.verify_output",
+            "qa",
+            "verifies a final result",
+            vec![Param::required("value", DataFormat::Any)],
+            DataFormat::QaReport,
+        ))
+        .unwrap();
+        r
+    }
+
+    fn context() -> QueryContext {
+        QueryContext { cable_names: vec![], now: 864_000, horizon_days: 10 }
+    }
+
+    const CS2_QUERY: &str = "Identify the impact of severe earthquakes and hurricanes \
+                             globally assuming a 10% infra failure probability";
+
+    #[test]
+    fn pipeline_generates_valid_workflow() {
+        let model = DeterministicExpertModel::new();
+        let system = ArachNet::new(&model, mini_registry());
+        let solution = system.generate(CS2_QUERY, &context()).unwrap();
+        assert!(check(&solution.workflow, system.registry()).is_empty());
+        assert!(solution.loc > 50, "loc {}", solution.loc);
+        assert_eq!(solution.repair_attempts, 0);
+        // QA step woven in.
+        assert!(solution.workflow.steps.iter().any(|s| s.function.0 == "qa.verify_output"));
+        // Restraint: one analysis framework plus plumbing.
+        assert!(solution.frameworks.contains(&"xaminer".to_string()));
+    }
+
+    #[test]
+    fn expert_hooks_adjust_and_review() {
+        let model = DeterministicExpertModel::new();
+        let system = ArachNet::new(&model, mini_registry());
+        let hooks = ExpertHooks {
+            adjust_decomposition: Some(Box::new(|mut d: Decomposition| {
+                d.constraints.push("expert: restrict to coastal assets".into());
+                d
+            })),
+            adjust_architecture: None,
+            review_workflow: Some(Box::new(|wf: &Workflow| {
+                vec![format!("reviewed {} steps", wf.steps.len())]
+            })),
+        };
+        let solution = system.generate_expert(CS2_QUERY, &context(), &hooks).unwrap();
+        assert!(solution
+            .decomposition
+            .constraints
+            .iter()
+            .any(|c| c.contains("expert: restrict")));
+        assert_eq!(solution.expert_notes.len(), 1);
+    }
+
+    #[test]
+    fn curation_grows_registry_and_rejects_duplicates() {
+        let model = DeterministicExpertModel::new();
+        let mut system = ArachNet::new(&model, mini_registry());
+        let solution = system.generate(CS2_QUERY, &context()).unwrap();
+        let corpus = vec![solution.summary(true), solution.summary(true)];
+
+        let before = system.registry().len();
+        let outcome = system.curate(&corpus, 2).unwrap();
+        assert_eq!(outcome.added.len(), 1, "rejected: {:?}", outcome.rejected);
+        assert_eq!(system.registry().len(), before + 1);
+
+        // Second pass proposes nothing new.
+        let outcome2 = system.curate(&corpus, 2).unwrap();
+        assert!(outcome2.added.is_empty());
+        assert!(outcome2
+            .rejected
+            .iter()
+            .any(|(_, why)| why.contains("already registered") || why.contains("duplicate")));
+    }
+
+    #[test]
+    fn composite_signature_is_derived_correctly() {
+        let model = DeterministicExpertModel::new();
+        let mut system = ArachNet::new(&model, mini_registry());
+        let solution = system.generate(CS2_QUERY, &context()).unwrap();
+        let corpus = vec![solution.summary(true), solution.summary(true)];
+        let outcome = system.curate(&corpus, 2).unwrap();
+        let id = &outcome.added[0];
+        let entry = system.registry().get(id).unwrap();
+        // The composite takes the chain's external inputs and returns the
+        // final output.
+        assert_eq!(entry.output, DataFormat::CountryImpactTable);
+        let input_names: Vec<&str> = entry.inputs.iter().map(|p| p.name.as_str()).collect();
+        assert!(input_names.contains(&"disasters"));
+        assert!(input_names.contains(&"failure_probability"));
+        assert!(!input_names.contains(&"event"), "internally satisfied input must not leak");
+    }
+
+    #[test]
+    fn generated_workflow_uses_composites_after_curation() {
+        let model = DeterministicExpertModel::new();
+        let mut system = ArachNet::new(&model, mini_registry());
+        let s1 = system.generate(CS2_QUERY, &context()).unwrap();
+        let corpus = vec![s1.summary(true), s1.summary(true)];
+        system.curate(&corpus, 2).unwrap();
+
+        // Regenerate: the planner can now reach the target through the
+        // cheaper composite, shrinking the workflow.
+        let s2 = system.generate(CS2_QUERY, &context()).unwrap();
+        assert!(
+            s2.workflow.steps.len() <= s1.workflow.steps.len(),
+            "curated registry should not grow the plan ({} vs {})",
+            s2.workflow.steps.len(),
+            s1.workflow.steps.len()
+        );
+    }
+}

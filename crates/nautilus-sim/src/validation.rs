@@ -1,0 +1,149 @@
+//! Accuracy evaluation of the inferred mapping against the generator's
+//! ground truth. The real Nautilus paper validates against operator
+//! ground truth and latency constraints; here the synthetic world plays
+//! the operator.
+
+use serde::{Deserialize, Serialize};
+use world::World;
+
+use crate::mapping::MappingTable;
+
+/// Aggregate accuracy of a mapping table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingAccuracy {
+    /// Links whose top candidate is one of the true cables / links with
+    /// any true submarine segment.
+    pub top1_accuracy: f64,
+    /// Links where any of the top-3 candidates is a true cable.
+    pub top3_recall: f64,
+    /// Mean confidence assigned to true cables (calibration signal).
+    pub mean_true_confidence: f64,
+    /// Number of links evaluated (submarine ground truth only).
+    pub evaluated: usize,
+}
+
+/// Evaluates the mapping against ground truth.
+pub fn evaluate(table: &MappingTable, world: &World) -> MappingAccuracy {
+    let mut top1 = 0usize;
+    let mut top3 = 0usize;
+    let mut conf_sum = 0.0f64;
+    let mut evaluated = 0usize;
+
+    for m in &table.mappings {
+        let truth = world.link(m.link).path.cables();
+        if truth.is_empty() {
+            continue; // terrestrial ground truth: mapper shouldn't be judged on it
+        }
+        evaluated += 1;
+        if let Some(best) = m.best() {
+            if truth.contains(&best) {
+                top1 += 1;
+            }
+        }
+        if m.candidates.iter().take(3).any(|(c, _)| truth.contains(c)) {
+            top3 += 1;
+        }
+        conf_sum += truth.iter().map(|&t| m.confidence_for(t)).sum::<f64>();
+    }
+
+    MappingAccuracy {
+        top1_accuracy: ratio(top1, evaluated),
+        top3_recall: ratio(top3, evaluated),
+        mean_true_confidence: if evaluated == 0 { 0.0 } else { conf_sum / evaluated as f64 },
+        evaluated,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{CableMapping, MappingConfig, NautilusMapper};
+    use net_model::{CableId, LinkId};
+    use world::{generate, WorldConfig};
+
+    #[test]
+    fn empty_table_evaluates_to_zero() {
+        let world = generate(&WorldConfig::default());
+        let acc = evaluate(&MappingTable::default(), &world);
+        assert_eq!(acc.evaluated, 0);
+        assert_eq!(acc.top1_accuracy, 0.0);
+    }
+
+    #[test]
+    fn oracle_mapping_scores_perfectly() {
+        let world = generate(&WorldConfig::default());
+        // Build a fake table that reads the ground truth directly.
+        let mappings = world
+            .links
+            .iter()
+            .filter(|l| !l.path.cables().is_empty())
+            .map(|l| CableMapping {
+                link: l.id,
+                candidates: vec![(l.path.cables()[0], 1.0)],
+            })
+            .collect();
+        let acc = evaluate(&MappingTable { mappings }, &world);
+        assert!(acc.evaluated > 0);
+        assert_eq!(acc.top1_accuracy, 1.0);
+        assert_eq!(acc.top3_recall, 1.0);
+    }
+
+    #[test]
+    fn wrong_mapping_scores_zero() {
+        let world = generate(&WorldConfig::default());
+        // Map every submarine link to a cable it does not ride.
+        let mappings: Vec<CableMapping> = world
+            .links
+            .iter()
+            .filter(|l| !l.path.cables().is_empty())
+            .map(|l| {
+                let truth = l.path.cables();
+                let wrong = world
+                    .cables
+                    .iter()
+                    .map(|c| c.id)
+                    .find(|c| !truth.contains(c))
+                    .unwrap_or(CableId(0));
+                CableMapping { link: l.id, candidates: vec![(wrong, 1.0)] }
+            })
+            .collect();
+        let acc = evaluate(&MappingTable { mappings }, &world);
+        assert_eq!(acc.top1_accuracy, 0.0);
+    }
+
+    #[test]
+    fn real_mapper_beats_chance_substantially() {
+        let world = generate(&WorldConfig::default());
+        let table = NautilusMapper::new(MappingConfig::default()).map_world(&world);
+        let acc = evaluate(&table, &world);
+        assert!(acc.evaluated > 50);
+        assert!(acc.mean_true_confidence > 0.2, "calibration {acc:?}");
+    }
+
+    #[test]
+    fn accuracy_ignores_terrestrial_links() {
+        let world = generate(&WorldConfig::default());
+        // A table containing only a terrestrial link mapping must not count.
+        let terrestrial = world
+            .links
+            .iter()
+            .find(|l| l.path.cables().is_empty())
+            .expect("some terrestrial link");
+        let table = MappingTable {
+            mappings: vec![CableMapping {
+                link: LinkId(terrestrial.id.0),
+                candidates: vec![(CableId(0), 1.0)],
+            }],
+        };
+        let acc = evaluate(&table, &world);
+        assert_eq!(acc.evaluated, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Typed identifiers for every entity in the synthetic Internet.
+//!
+//! Each id is a newtype over a small integer. Using distinct types (instead
+//! of bare `u32`s) makes cross-layer code — which constantly juggles cables,
+//! IP links, ASes and probes — impossible to mis-wire, at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize,
+            Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(&self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A submarine cable system (e.g. SeaMeWe-5).
+    CableId,
+    "cable-"
+);
+define_id!(
+    /// A cable landing station.
+    LandingId,
+    "ls-"
+);
+define_id!(
+    /// A city / population-and-PoP centre.
+    CityId,
+    "city-"
+);
+define_id!(
+    /// An inter-router IP-layer link.
+    LinkId,
+    "link-"
+);
+define_id!(
+    /// An announced IPv4 prefix.
+    PrefixId,
+    "pfx-"
+);
+define_id!(
+    /// A measurement probe (RIPE-Atlas-style vantage point).
+    ProbeId,
+    "probe-"
+);
+
+/// An Autonomous System Number.
+///
+/// Not generated through `define_id!` because ASNs carry semantics (they are
+/// real protocol values, not dense indices) and display without a dash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Whether the ASN falls in a documented private-use range.
+    pub fn is_private(&self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(CableId(3).to_string(), "cable-3");
+        assert_eq!(ProbeId(12).to_string(), "probe-12");
+        assert_eq!(Asn(65001).to_string(), "AS65001");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(LinkId(1) < LinkId(2));
+        assert_eq!(LinkId(7).index(), 7);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // This is a compile-time property; the test just documents intent.
+        let c: CableId = 1u32.into();
+        let l: LinkId = 1u32.into();
+        assert_eq!(c.index(), l.index());
+    }
+
+    #[test]
+    fn private_asn_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(64511).is_private());
+        assert!(!Asn(3356).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+    }
+}

@@ -1,0 +1,221 @@
+//! Capability entries: the unit of registry knowledge.
+
+use serde::{Deserialize, Serialize};
+
+use crate::format::DataFormat;
+
+/// Stable identifier of a registered function, conventionally
+/// `framework.verb_object` (e.g. `xaminer.process_event`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub String);
+
+impl From<&str> for FunctionId {
+    fn from(s: &str) -> Self {
+        FunctionId(s.to_string())
+    }
+}
+
+impl std::fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A declared input parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub format: DataFormat,
+    /// Optional parameters may be omitted from a step's bindings.
+    pub required: bool,
+}
+
+impl Param {
+    /// A required parameter.
+    pub fn required(name: &str, format: DataFormat) -> Param {
+        Param { name: name.to_string(), format, required: true }
+    }
+
+    /// An optional parameter.
+    pub fn optional(name: &str, format: DataFormat) -> Param {
+        Param { name: name.to_string(), format, required: false }
+    }
+}
+
+/// Coarse execution-cost class; WorkflowScout's trade-off scoring uses it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub enum CostClass {
+    /// In-memory transformation.
+    Cheap,
+    /// Single-framework computation.
+    #[default]
+    Moderate,
+    /// Large campaign / full recomputation.
+    Expensive,
+}
+
+impl CostClass {
+    /// Numeric weight used by the planner's cost model.
+    pub fn weight(self) -> f64 {
+        match self {
+            CostClass::Cheap => 1.0,
+            CostClass::Moderate => 3.0,
+            CostClass::Expensive => 9.0,
+        }
+    }
+}
+
+impl std::fmt::Display for CostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// How the function is realized by the tool runtime.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Implementation {
+    /// A native tool function the runtime binds directly.
+    #[default]
+    Native,
+    /// A curator-mined composite: run `sequence` in order, feeding each
+    /// function's output into the next one's first required input.
+    Composite { sequence: Vec<FunctionId> },
+}
+
+/// One registry entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityEntry {
+    pub id: FunctionId,
+    /// Owning framework ("nautilus", "xaminer", "bgp", "traceroute",
+    /// "util", "qa", or "composite" for curator-mined entries).
+    pub framework: String,
+    /// One-sentence capability description (search target).
+    pub capability: String,
+    /// Typed inputs.
+    pub inputs: Vec<Param>,
+    /// Output format.
+    pub output: DataFormat,
+    /// Free-text constraints surfaced to agents ("requires ≥ 7 days of
+    /// data", "country-level granularity only").
+    pub constraints: Vec<String>,
+    /// Search keywords beyond the capability sentence.
+    pub tags: Vec<String>,
+    pub cost: CostClass,
+    /// Historical reliability in `[0, 1]`; conflict resolution and
+    /// trade-off scoring weigh it.
+    pub reliability: f64,
+    pub implementation: Implementation,
+}
+
+impl CapabilityEntry {
+    /// A native entry with default cost/reliability; builder methods refine.
+    pub fn new(
+        id: &str,
+        framework: &str,
+        capability: &str,
+        inputs: Vec<Param>,
+        output: DataFormat,
+    ) -> CapabilityEntry {
+        CapabilityEntry {
+            id: FunctionId::from(id),
+            framework: framework.to_string(),
+            capability: capability.to_string(),
+            inputs,
+            output,
+            constraints: Vec::new(),
+            tags: Vec::new(),
+            cost: CostClass::Moderate,
+            reliability: 0.9,
+            implementation: Implementation::Native,
+        }
+    }
+
+    /// Sets the cost class.
+    pub fn with_cost(mut self, cost: CostClass) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets reliability.
+    pub fn with_reliability(mut self, r: f64) -> Self {
+        self.reliability = r.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds tags.
+    pub fn with_tags(mut self, tags: &[&str]) -> Self {
+        self.tags.extend(tags.iter().map(|t| t.to_string()));
+        self
+    }
+
+    /// Adds a constraint sentence.
+    pub fn with_constraint(mut self, c: &str) -> Self {
+        self.constraints.push(c.to_string());
+        self
+    }
+
+    /// Required parameters only.
+    pub fn required_inputs(&self) -> impl Iterator<Item = &Param> + '_ {
+        self.inputs.iter().filter(|p| p.required)
+    }
+
+    /// Finds a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let e = CapabilityEntry::new(
+            "x.f",
+            "xaminer",
+            "processes failure events",
+            vec![Param::required("event", DataFormat::FailureEventSpec)],
+            DataFormat::FailureImpact,
+        )
+        .with_cost(CostClass::Expensive)
+        .with_reliability(1.5)
+        .with_tags(&["failure", "impact"])
+        .with_constraint("needs a dependency table");
+        assert_eq!(e.cost, CostClass::Expensive);
+        assert_eq!(e.reliability, 1.0, "reliability clamps to [0,1]");
+        assert_eq!(e.tags.len(), 2);
+        assert_eq!(e.constraints.len(), 1);
+    }
+
+    #[test]
+    fn required_inputs_filters() {
+        let e = CapabilityEntry::new(
+            "x.f",
+            "x",
+            "c",
+            vec![
+                Param::required("a", DataFormat::Text),
+                Param::optional("b", DataFormat::Scalar),
+            ],
+            DataFormat::Table,
+        );
+        let req: Vec<&str> = e.required_inputs().map(|p| p.name.as_str()).collect();
+        assert_eq!(req, vec!["a"]);
+        assert!(e.param("b").is_some());
+        assert!(e.param("z").is_none());
+    }
+
+    #[test]
+    fn cost_weights_are_ordered() {
+        assert!(CostClass::Cheap.weight() < CostClass::Moderate.weight());
+        assert!(CostClass::Moderate.weight() < CostClass::Expensive.weight());
+    }
+
+    #[test]
+    fn function_id_display() {
+        assert_eq!(FunctionId::from("a.b").to_string(), "a.b");
+    }
+}

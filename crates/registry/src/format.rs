@@ -1,0 +1,163 @@
+//! The data-format vocabulary: the semantic types flowing between
+//! measurement tools.
+//!
+//! Formats are deliberately *semantic* ("a ranked table of per-country
+//! impacts"), not syntactic (JSON vs CSV) — syntax is normalized by the
+//! runtime; what agents must not confuse is meaning. Compatibility is
+//! mostly equality plus a few safe widenings (`Any` accepts everything;
+//! specific collections widen into `Table`).
+
+use serde::{Deserialize, Serialize};
+
+/// Semantic type of a value exchanged between workflow steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataFormat {
+    // -- primitives / query-side --
+    /// Free-form text.
+    Text,
+    /// A single number.
+    Scalar,
+    /// A time window on the scenario clock.
+    TimeWindow,
+    /// A geographic region name (continent-scale scope).
+    RegionScope,
+    /// A country set.
+    CountrySet,
+    /// A cable system reference (resolved id).
+    CableRef,
+    /// A set of disaster specifications parsed from a query.
+    DisasterSpecs,
+
+    // -- cross-layer cartography (Nautilus) --
+    /// Inferred link→cable mapping with confidences.
+    MappingTable,
+    /// Cable→{links, ASes, countries} dependency view.
+    DependencyTable,
+    /// Dependencies of one cable.
+    CableDependencies,
+
+    // -- resilience analysis (Xaminer) --
+    /// A failure event specification (cable / segment / disaster /
+    /// compound).
+    FailureEventSpec,
+    /// Concrete failed assets and affected entities.
+    FailureImpact,
+    /// Aggregated per-country / per-AS impact report.
+    ImpactReport,
+    /// Country-level impact rows only.
+    CountryImpactTable,
+    /// Cascade propagation timeline.
+    CascadeTimeline,
+    /// Country risk profiles.
+    RiskProfiles,
+
+    // -- BGP --
+    /// A stream of BGP updates.
+    BgpUpdates,
+    /// A RIB snapshot.
+    RibSnapshot,
+    /// Detected update bursts.
+    BgpBursts,
+
+    // -- traceroute --
+    /// A traceroute campaign (raw measurements).
+    TracerouteCampaign,
+    /// An RTT time series.
+    RttSeries,
+    /// A latency anomaly report (change points, magnitude, significance).
+    AnomalyReport,
+
+    // -- synthesis / forensic --
+    /// Ranked suspect cables with scores.
+    SuspectRanking,
+    /// Temporal correlation between evidence streams.
+    CorrelationReport,
+    /// Final forensic verdict with confidence.
+    ForensicVerdict,
+    /// Multi-layer unified event timeline.
+    UnifiedTimeline,
+    /// Quality-assurance findings.
+    QaReport,
+
+    // -- generic --
+    /// Generic tabular data.
+    Table,
+    /// Anything (used by QA probes that accept arbitrary input).
+    Any,
+}
+
+impl DataFormat {
+    /// Whether a value of `self` can be fed where `required` is expected.
+    pub fn compatible_with(self, required: DataFormat) -> bool {
+        if self == required || required == DataFormat::Any {
+            return true;
+        }
+        // Safe widenings: structured collections can be consumed as tables.
+        matches!(
+            (self, required),
+            (DataFormat::CountryImpactTable, DataFormat::Table)
+                | (DataFormat::RiskProfiles, DataFormat::Table)
+                | (DataFormat::SuspectRanking, DataFormat::Table)
+                | (DataFormat::RttSeries, DataFormat::Table)
+        )
+    }
+
+    /// All formats (for property tests and search indexing).
+    pub fn all() -> Vec<DataFormat> {
+        use DataFormat::*;
+        vec![
+            Text, Scalar, TimeWindow, RegionScope, CountrySet, CableRef, DisasterSpecs,
+            MappingTable, DependencyTable, CableDependencies, FailureEventSpec, FailureImpact,
+            ImpactReport, CountryImpactTable, CascadeTimeline, RiskProfiles, BgpUpdates,
+            RibSnapshot, BgpBursts, TracerouteCampaign, RttSeries, AnomalyReport, SuspectRanking,
+            CorrelationReport, ForensicVerdict, UnifiedTimeline, QaReport, Table, Any,
+        ]
+    }
+}
+
+impl std::fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_compatible() {
+        for f in DataFormat::all() {
+            assert!(f.compatible_with(f));
+        }
+    }
+
+    #[test]
+    fn any_accepts_everything() {
+        for f in DataFormat::all() {
+            assert!(f.compatible_with(DataFormat::Any));
+        }
+    }
+
+    #[test]
+    fn any_is_not_a_universal_source() {
+        assert!(!DataFormat::Any.compatible_with(DataFormat::ImpactReport));
+    }
+
+    #[test]
+    fn widening_to_table_is_one_way() {
+        assert!(DataFormat::RttSeries.compatible_with(DataFormat::Table));
+        assert!(!DataFormat::Table.compatible_with(DataFormat::RttSeries));
+    }
+
+    #[test]
+    fn incompatible_pairs_rejected() {
+        assert!(!DataFormat::BgpUpdates.compatible_with(DataFormat::RttSeries));
+        assert!(!DataFormat::ImpactReport.compatible_with(DataFormat::CascadeTimeline));
+    }
+
+    #[test]
+    fn display_is_debug_like() {
+        assert_eq!(DataFormat::ImpactReport.to_string(), "ImpactReport");
+    }
+}

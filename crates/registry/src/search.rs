@@ -1,0 +1,146 @@
+//! Keyword search over the registry.
+//!
+//! A deliberately simple ranked retrieval: tokenize the query, score each
+//! entry by weighted keyword overlap (id > tags > capability sentence),
+//! return the top hits. One linear pass per query — the linear-scaling
+//! property benchmarked in E5.
+
+use crate::entry::CapabilityEntry;
+use crate::Registry;
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit<'a> {
+    pub entry: &'a CapabilityEntry,
+    pub score: f64,
+}
+
+/// Lowercase alphanumeric tokens of `s`.
+pub fn tokenize(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// Scores one entry against pre-tokenized query terms.
+fn score(entry: &CapabilityEntry, terms: &[String]) -> f64 {
+    if terms.is_empty() {
+        return 0.0;
+    }
+    let id_tokens = tokenize(&entry.id.0);
+    let tag_tokens: Vec<String> = entry.tags.iter().flat_map(|t| tokenize(t)).collect();
+    let cap_tokens = tokenize(&entry.capability);
+
+    let mut s = 0.0;
+    for term in terms {
+        if id_tokens.contains(term) {
+            s += 3.0;
+        }
+        if tag_tokens.contains(term) {
+            s += 2.0;
+        }
+        if cap_tokens.contains(term) {
+            s += 1.0;
+        }
+    }
+    s / terms.len() as f64
+}
+
+/// Ranked search, ties broken by function id for determinism.
+pub fn search<'a>(registry: &'a Registry, query: &str, limit: usize) -> Vec<SearchHit<'a>> {
+    let terms = tokenize(query);
+    let mut hits: Vec<SearchHit<'a>> = registry
+        .iter()
+        .map(|entry| SearchHit { entry, score: score(entry, &terms) })
+        .filter(|h| h.score > 0.0)
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then_with(|| a.entry.id.cmp(&b.entry.id))
+    });
+    hits.truncate(limit);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Param;
+    use crate::DataFormat;
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(
+            CapabilityEntry::new(
+                "nautilus.map_links",
+                "nautilus",
+                "maps IP links to submarine cables with confidence scores",
+                vec![],
+                DataFormat::MappingTable,
+            )
+            .with_tags(&["cable", "mapping", "cross-layer"]),
+        )
+        .unwrap();
+        r.register(
+            CapabilityEntry::new(
+                "xaminer.process_event",
+                "xaminer",
+                "processes a failure event into affected links and countries",
+                vec![Param::required("event", DataFormat::FailureEventSpec)],
+                DataFormat::FailureImpact,
+            )
+            .with_tags(&["failure", "impact", "event"]),
+        )
+        .unwrap();
+        r.register(
+            CapabilityEntry::new(
+                "bgp.updates",
+                "bgp",
+                "fetches BGP updates from collectors for a time window",
+                vec![Param::required("window", DataFormat::TimeWindow)],
+                DataFormat::BgpUpdates,
+            )
+            .with_tags(&["bgp", "routing", "updates"]),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn relevant_entry_ranks_first() {
+        let r = registry();
+        let hits = r.search("map submarine cables", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].entry.id.0, "nautilus.map_links");
+    }
+
+    #[test]
+    fn id_tokens_score_highest() {
+        let r = registry();
+        let hits = r.search("process event", 10);
+        assert_eq!(hits[0].entry.id.0, "xaminer.process_event");
+    }
+
+    #[test]
+    fn irrelevant_query_returns_nothing() {
+        let r = registry();
+        assert!(r.search("quantum chromodynamics", 10).is_empty());
+        assert!(r.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let r = registry();
+        let hits = r.search("event updates failure bgp", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn tokenize_drops_punctuation_and_short_tokens() {
+        assert_eq!(tokenize("IP-links, to: cables!"), vec!["ip", "links", "to", "cables"]);
+        assert_eq!(tokenize("a b c"), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,413 @@
+//! The standard capability catalog: every measurement function ArachNet
+//! can compose, across the four frameworks plus utility and QA entries.
+//!
+//! Capability sentences, constraints, cost classes and reliabilities are
+//! the curated "measurement API" the agents plan against (§3 of the
+//! paper, "Registry: Measurement Capability Encoding").
+
+use llm::protocol::QueryContext;
+use registry::{CapabilityEntry, CostClass, DataFormat as F, Param, Registry};
+use world::World;
+
+/// Builds the standard registry.
+pub fn standard_registry() -> Registry {
+    let mut r = Registry::new();
+    let mut add = |e: CapabilityEntry| r.register(e).expect("catalog has no duplicates");
+
+    // --- Nautilus: cross-layer cartography --------------------------------
+    add(CapabilityEntry::new(
+        "nautilus.map_links",
+        "nautilus",
+        "maps IP links to submarine cables with confidence scores",
+        vec![],
+        F::MappingTable,
+    )
+    .with_cost(CostClass::Expensive)
+    .with_reliability(0.85)
+    .with_tags(&["cable", "mapping", "cross-layer", "submarine"])
+    .with_constraint("inference quality depends on geolocation accuracy"));
+
+    add(CapabilityEntry::new(
+        "nautilus.dependency_table",
+        "nautilus",
+        "builds the cable to links/ASes/countries dependency view from a mapping",
+        vec![Param::required("mapping", F::MappingTable)],
+        F::DependencyTable,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["cable", "dependency", "cross-layer"]));
+
+    add(CapabilityEntry::new(
+        "nautilus.resolve_cable",
+        "nautilus",
+        "resolves a cable system by name in the cartography catalog",
+        vec![Param::required("cable_name", F::Text)],
+        F::CableRef,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.99)
+    .with_tags(&["cable", "lookup", "name"]));
+
+    add(CapabilityEntry::new(
+        "nautilus.cable_dependencies",
+        "nautilus",
+        "extracts the links, ASes and countries depending on one cable",
+        vec![
+            Param::required("deps", F::DependencyTable),
+            Param::required("cable", F::CableRef),
+        ],
+        F::CableDependencies,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["cable", "dependency", "extract"]));
+
+    // --- Xaminer: resilience analysis --------------------------------------
+    add(CapabilityEntry::new(
+        "xaminer.process_event",
+        "xaminer",
+        "processes a failure event (cable, segment or disaster) into failed links and affected entities",
+        vec![
+            Param::required("event", F::FailureEventSpec),
+            Param::required("deps", F::DependencyTable),
+        ],
+        F::FailureImpact,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.92)
+    .with_tags(&["failure", "event", "impact", "core"])
+    .with_constraint("handles every event family through one interface"));
+
+    add(CapabilityEntry::new(
+        "xaminer.impact_report",
+        "xaminer",
+        "aggregates a failure impact into normalized per-country and per-AS metrics",
+        vec![Param::required("impact", F::FailureImpact)],
+        F::ImpactReport,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.95)
+    .with_tags(&["impact", "metrics", "aggregate"]));
+
+    add(CapabilityEntry::new(
+        "xaminer.country_aggregate",
+        "xaminer",
+        "extracts the ranked country-level impact table from an impact report",
+        vec![Param::required("report", F::ImpactReport)],
+        F::CountryImpactTable,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.95)
+    .with_tags(&["country", "aggregate", "geographic", "table"]));
+
+    add(CapabilityEntry::new(
+        "xaminer.event_impact",
+        "xaminer",
+        "end-to-end event processing: failure events straight to a country impact table using the current cross-layer mapping",
+        vec![Param::required("event", F::FailureEventSpec)],
+        F::CountryImpactTable,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["event", "impact", "country", "high-level"])
+    .with_constraint("uses the framework's default dependency mapping"));
+
+    add(CapabilityEntry::new(
+        "xaminer.cascade",
+        "xaminer",
+        "propagates an initial failure through load redistribution into a cascade timeline",
+        vec![Param::required("impact", F::FailureImpact)],
+        F::CascadeTimeline,
+    )
+    .with_cost(CostClass::Expensive)
+    .with_reliability(0.8)
+    .with_tags(&["cascade", "propagation", "load"])
+    .with_constraint("assumes the documented base-load and overload thresholds"));
+
+    add(CapabilityEntry::new(
+        "xaminer.risk_profiles",
+        "xaminer",
+        "profiles each country's dependency concentration over cable systems",
+        vec![Param::required("deps", F::DependencyTable)],
+        F::RiskProfiles,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["risk", "resilience", "concentration", "country"]));
+
+    // --- BGP ---------------------------------------------------------------
+    add(CapabilityEntry::new(
+        "bgp.updates",
+        "bgp",
+        "fetches the BGP update stream from route collectors for a time window",
+        vec![Param::required("window", F::TimeWindow)],
+        F::BgpUpdates,
+    )
+    .with_cost(CostClass::Expensive)
+    .with_reliability(0.95)
+    .with_tags(&["bgp", "routing", "updates", "collector"]));
+
+    add(CapabilityEntry::new(
+        "bgp.rib_snapshot",
+        "bgp",
+        "captures a RIB snapshot at the end of a time window",
+        vec![Param::required("window", F::TimeWindow)],
+        F::RibSnapshot,
+    )
+    .with_cost(CostClass::Expensive)
+    .with_reliability(0.95)
+    .with_tags(&["bgp", "rib", "snapshot"]));
+
+    add(CapabilityEntry::new(
+        "bgp.detect_bursts",
+        "bgp",
+        "detects statistically significant bursts in a BGP update stream",
+        vec![
+            Param::required("updates", F::BgpUpdates),
+            Param::required("window", F::TimeWindow),
+        ],
+        F::BgpBursts,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["bgp", "anomaly", "burst", "churn"]));
+
+    add(CapabilityEntry::new(
+        "bgp.reachability_losses",
+        "bgp",
+        "lists (peer, prefix) pairs withdrawn and never re-announced",
+        vec![Param::required("updates", F::BgpUpdates)],
+        F::Table,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["bgp", "reachability", "withdrawal"]));
+
+    // --- Traceroute ----------------------------------------------------------
+    add(CapabilityEntry::new(
+        "traceroute.campaign",
+        "traceroute",
+        "runs a probe campaign from one region's probes to another region's destinations over a time window",
+        vec![
+            Param::required("src_region", F::RegionScope),
+            Param::required("dst_region", F::RegionScope),
+            Param::required("window", F::TimeWindow),
+        ],
+        F::TracerouteCampaign,
+    )
+    .with_cost(CostClass::Expensive)
+    .with_reliability(0.85)
+    .with_tags(&["traceroute", "probe", "campaign", "latency", "paris"])
+    .with_constraint("probe coverage follows the platform's regional density"));
+
+    add(CapabilityEntry::new(
+        "traceroute.rtt_series",
+        "traceroute",
+        "buckets a campaign into a mean RTT time series",
+        vec![Param::required("campaign", F::TracerouteCampaign)],
+        F::RttSeries,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.95)
+    .with_tags(&["rtt", "series", "latency"]));
+
+    add(CapabilityEntry::new(
+        "traceroute.detect_anomaly",
+        "traceroute",
+        "detects latency anomalies against a statistical baseline, attributing affected probe/destination pairs",
+        vec![Param::required("campaign", F::TracerouteCampaign)],
+        F::AnomalyReport,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.85)
+    .with_tags(&["anomaly", "latency", "baseline", "statistics"])
+    .with_constraint("needs several baseline buckets before the anomaly"));
+
+    // --- Utility (integration / translation layer) ---------------------------
+    add(CapabilityEntry::new(
+        "util.cable_failure_event",
+        "util",
+        "builds a full-cable failure event from a resolved cable",
+        vec![Param::required("cable", F::CableRef)],
+        F::FailureEventSpec,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.99)
+    .with_tags(&["event", "cable", "translate"]));
+
+    add(CapabilityEntry::new(
+        "util.compile_disasters",
+        "util",
+        "compiles disaster kinds and a failure probability into concrete events over the global hazard catalog",
+        vec![
+            Param::required("disasters", F::DisasterSpecs),
+            Param::required("failure_probability", F::Scalar),
+        ],
+        F::FailureEventSpec,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["disaster", "earthquake", "hurricane", "what-if", "compile"]));
+
+    add(CapabilityEntry::new(
+        "util.combine_impact_tables",
+        "util",
+        "combines two country impact tables (independent-event composition of scores)",
+        vec![
+            Param::required("a", F::CountryImpactTable),
+            Param::required("b", F::CountryImpactTable),
+        ],
+        F::CountryImpactTable,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.95)
+    .with_tags(&["combine", "merge", "impact", "aggregate"]));
+
+    add(CapabilityEntry::new(
+        "util.corridor_failure_event",
+        "util",
+        "builds a compound failure of the main cable systems connecting two regions",
+        vec![
+            Param::required("src_region", F::RegionScope),
+            Param::required("dst_region", F::RegionScope),
+        ],
+        F::FailureEventSpec,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["corridor", "region", "cable", "compound"]));
+
+    add(CapabilityEntry::new(
+        "util.score_suspect_cables",
+        "util",
+        "ranks candidate cables by their presence in anomaly-affected paths, weighted by latency deltas",
+        vec![
+            Param::required("anomaly", F::AnomalyReport),
+            Param::required("deps", F::DependencyTable),
+        ],
+        F::SuspectRanking,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.85)
+    .with_tags(&["forensic", "suspect", "cable", "score", "rank"]));
+
+    add(CapabilityEntry::new(
+        "util.correlate_evidence",
+        "util",
+        "temporally correlates BGP bursts with a latency anomaly onset",
+        vec![
+            Param::required("bursts", F::BgpBursts),
+            Param::required("anomaly", F::AnomalyReport),
+        ],
+        F::CorrelationReport,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["correlate", "temporal", "evidence", "validation"]));
+
+    add(CapabilityEntry::new(
+        "util.synthesize_verdict",
+        "util",
+        "synthesizes suspect ranking and temporal correlation into a causal verdict with confidence",
+        vec![
+            Param::required("suspects", F::SuspectRanking),
+            Param::required("correlation", F::CorrelationReport),
+            Param::required("anomaly", F::AnomalyReport),
+        ],
+        F::ForensicVerdict,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["forensic", "verdict", "synthesis", "causation", "confidence"]));
+
+    add(CapabilityEntry::new(
+        "util.build_timeline",
+        "util",
+        "fuses cascade rounds, routing bursts and latency anomalies into one multi-layer timeline",
+        vec![
+            Param::required("cascade", F::CascadeTimeline),
+            Param::required("bursts", F::BgpBursts),
+            Param::required("anomaly", F::AnomalyReport),
+        ],
+        F::UnifiedTimeline,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["timeline", "synthesis", "cross-layer", "unified"]));
+
+    // --- QA --------------------------------------------------------------------
+    add(CapabilityEntry::new(
+        "qa.verify_output",
+        "qa",
+        "verifies a final result: structural integrity, emptiness, basic plausibility",
+        vec![Param::required("value", F::Any)],
+        F::QaReport,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.99)
+    .with_tags(&["qa", "verify", "sanity"]));
+
+    r
+}
+
+/// A registry with some functions withheld — case study 1's controlled
+/// setup ("we provide the agent with only core Nautilus system functions.
+/// We withhold Xaminer's higher-level abstractions").
+pub fn restricted_registry(withhold: &[&str]) -> Registry {
+    let full = standard_registry();
+    let mut r = Registry::new();
+    for entry in full.iter() {
+        if !withhold.contains(&entry.id.0.as_str()) {
+            r.register(entry.clone()).expect("no duplicates");
+        }
+    }
+    r
+}
+
+/// Builds the query context (entity-grounding knowledge) for a scenario.
+pub fn query_context(world: &World, now: net_model::SimTime, horizon_days: i64) -> QueryContext {
+    QueryContext {
+        cable_names: world.cables.iter().map(|c| c.name.clone()).collect(),
+        now: now.seconds_since_epoch(),
+        horizon_days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_frameworks() {
+        let r = standard_registry();
+        let fw = r.frameworks();
+        for expected in ["nautilus", "xaminer", "bgp", "traceroute", "util", "qa"] {
+            assert!(fw.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert!(r.len() >= 22, "catalog size {}", r.len());
+    }
+
+    #[test]
+    fn restricted_registry_withholds() {
+        let r = restricted_registry(&["xaminer.event_impact"]);
+        assert!(!r.contains(&registry::FunctionId::from("xaminer.event_impact")));
+        assert!(r.contains(&registry::FunctionId::from("xaminer.process_event")));
+        assert_eq!(r.len(), standard_registry().len() - 1);
+    }
+
+    #[test]
+    fn search_finds_forensic_functions() {
+        let r = standard_registry();
+        let hits = r.search("rank suspect cables forensic", 3);
+        assert_eq!(hits[0].entry.id.0, "util.score_suspect_cables");
+    }
+
+    #[test]
+    fn context_contains_cable_names() {
+        let world = crate::scenarios::standard_world();
+        let ctx = query_context(&world, net_model::SimTime(86_400), 10);
+        assert!(ctx.cable_names.iter().any(|n| n == "SeaMeWe-5"));
+        assert_eq!(ctx.now, 86_400);
+    }
+}

@@ -1,0 +1,228 @@
+//! JSON payload schemas for values flowing between workflow steps.
+//!
+//! Substrate types (dependency tables, impact reports, cascade timelines…)
+//! serialize directly via serde; this module adds the toolkit-level
+//! schemas that have no substrate equivalent.
+
+use serde::{Deserialize, Serialize};
+
+/// `CableRef`: a resolved cable system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CableRefData {
+    pub id: u32,
+    pub name: String,
+}
+
+/// One traceroute measurement in a campaign, reduced to what analyses use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementData {
+    pub probe: u32,
+    pub dst: String,
+    pub time: i64,
+    /// End-to-end RTT; `None` when the trace did not complete.
+    pub rtt_ms: Option<f64>,
+    /// IP links traversed (ids), for cross-layer joins.
+    pub links: Vec<u32>,
+}
+
+/// `TracerouteCampaign`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignData {
+    pub src_region: String,
+    pub dst_region: String,
+    pub window_start: i64,
+    pub window_end: i64,
+    pub interval_s: i64,
+    pub measurements: Vec<MeasurementData>,
+}
+
+/// `RttSeries`: bucketed mean RTT over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesData {
+    pub bucket_seconds: i64,
+    /// `(bucket start, mean rtt, samples)`.
+    pub points: Vec<(i64, f64, usize)>,
+}
+
+/// One probe/destination pair affected by a latency anomaly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffectedPair {
+    pub probe: u32,
+    pub dst: String,
+    pub before_ms: f64,
+    pub after_ms: f64,
+    pub delta_ms: f64,
+    /// Union of links the pair's traffic rode *before* the anomaly onset
+    /// (across samples and flows).
+    pub pre_links: Vec<u32>,
+    /// Union of links it rides *after* the onset; pre-onset links missing
+    /// here have vanished from the forwarding path — the cross-layer
+    /// smoking gun.
+    #[serde(default)]
+    pub post_links: Vec<u32>,
+}
+
+impl AffectedPair {
+    /// Pre-onset links that no longer appear post-onset.
+    pub fn vanished_links(&self) -> Vec<u32> {
+        self.pre_links.iter().copied().filter(|l| !self.post_links.contains(l)).collect()
+    }
+}
+
+/// `AnomalyReport`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyData {
+    pub detected: bool,
+    /// Onset instant (bucket start), when detected.
+    pub onset: Option<i64>,
+    pub baseline_ms: f64,
+    pub anomalous_ms: f64,
+    /// How many baseline standard deviations the shift represents.
+    pub z_score: f64,
+    pub affected_pairs: Vec<AffectedPair>,
+    /// Every link observed in any pre-onset forwarding path (all pairs).
+    #[serde(default)]
+    pub pre_observed_links: Vec<u32>,
+    /// Every link observed in any post-onset forwarding path — a cable
+    /// whose links appear here is demonstrably still carrying traffic.
+    #[serde(default)]
+    pub post_observed_links: Vec<u32>,
+}
+
+/// One ranked suspect cable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspectEntry {
+    pub cable: u32,
+    pub name: String,
+    /// Normalized score in `[0, 1]`; all entries sum to 1.
+    pub score: f64,
+    /// Distinct affected links attributed to this cable.
+    pub evidence_links: usize,
+}
+
+/// `SuspectRanking`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SuspectData {
+    pub ranked: Vec<SuspectEntry>,
+}
+
+/// `CorrelationReport`: BGP churn vs latency anomaly timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationData {
+    /// Whether a BGP burst aligns with the anomaly onset.
+    pub aligned: bool,
+    /// Burst-to-onset lag (seconds, burst minus onset) of the closest
+    /// burst, when any burst exists.
+    pub lag_seconds: Option<i64>,
+    pub burst_count: usize,
+    pub onset: Option<i64>,
+    /// Confidence contributed by this evidence stream, `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// `ForensicVerdict`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictData {
+    /// Did a cable failure cause the anomaly?
+    pub cable_caused: bool,
+    /// The identified cable, when `cable_caused`.
+    pub cable: Option<String>,
+    pub cable_id: Option<u32>,
+    /// Overall confidence, `[0, 1]`.
+    pub confidence: f64,
+    /// Evidence narrative for the analyst.
+    pub narrative: String,
+}
+
+/// One event on the unified multi-layer timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    pub t: i64,
+    /// "cable" | "ip" | "as" | "routing" | "latency".
+    pub layer: String,
+    pub description: String,
+}
+
+/// `UnifiedTimeline`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimelineData {
+    pub events: Vec<TimelineEvent>,
+    /// Distinct layers represented, sorted.
+    pub layers: Vec<String>,
+}
+
+/// `CountryImpactTable` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryRow {
+    pub country: String,
+    pub ips_affected: usize,
+    pub links_affected: usize,
+    pub ases_affected: usize,
+    pub as_links_affected: usize,
+    pub impact_score: f64,
+}
+
+/// `CountryImpactTable`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CountryTableData {
+    pub rows: Vec<CountryRow>,
+}
+
+impl CountryTableData {
+    /// Top-n country codes by impact score.
+    pub fn top_countries(&self, n: usize) -> Vec<&str> {
+        self.rows.iter().take(n).map(|r| r.country.as_str()).collect()
+    }
+}
+
+/// `QaReport`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QaData {
+    pub passed: bool,
+    pub checks: Vec<String>,
+    pub notes: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_roundtrip() {
+        let v = VerdictData {
+            cable_caused: true,
+            cable: Some("SeaMeWe-5".into()),
+            cable_id: Some(0),
+            confidence: 0.92,
+            narrative: "latency shift aligned with BGP burst".into(),
+        };
+        let json = serde_json::to_value(&v).unwrap();
+        let back: VerdictData = serde_json::from_value(json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn country_table_top() {
+        let t = CountryTableData {
+            rows: vec![
+                CountryRow {
+                    country: "EG".into(),
+                    ips_affected: 10,
+                    links_affected: 5,
+                    ases_affected: 2,
+                    as_links_affected: 3,
+                    impact_score: 0.8,
+                },
+                CountryRow {
+                    country: "IN".into(),
+                    ips_affected: 6,
+                    links_affected: 3,
+                    ases_affected: 1,
+                    as_links_affected: 2,
+                    impact_score: 0.5,
+                },
+            ],
+        };
+        assert_eq!(t.top_countries(1), vec!["EG"]);
+    }
+}

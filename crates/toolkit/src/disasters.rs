@@ -1,0 +1,87 @@
+//! The global disaster-zone catalog: where "severe earthquakes and
+//! hurricanes globally" actually strike.
+//!
+//! Real what-if studies use hazard maps (Ring of Fire seismicity, Atlantic
+//! and Pacific storm belts); this curated catalog plays that role. Each
+//! zone has a name, an epicentre, and a footprint radius; compiling a
+//! disaster query instantiates every zone of the requested kinds with the
+//! stated failure probability.
+
+use net_model::GeoPoint;
+use world::events::DisasterSpec;
+
+/// One hazard zone.
+#[derive(Debug, Clone)]
+pub struct HazardZone {
+    pub name: &'static str,
+    pub kind: &'static str,
+    pub lat: f64,
+    pub lon: f64,
+    pub radius_km: f64,
+}
+
+/// The catalog: seismic zones follow subduction margins; storm zones
+/// follow the tropical cyclone belts.
+pub const HAZARD_ZONES: &[HazardZone] = &[
+    // Earthquakes — Ring of Fire and Alpide belt.
+    HazardZone { name: "Nankai Trough", kind: "earthquake", lat: 34.0, lon: 137.5, radius_km: 450.0 },
+    HazardZone { name: "Taiwan Collision", kind: "earthquake", lat: 23.8, lon: 121.2, radius_km: 350.0 },
+    HazardZone { name: "Sunda Megathrust", kind: "earthquake", lat: -4.5, lon: 102.0, radius_km: 600.0 },
+    HazardZone { name: "Aegean Arc", kind: "earthquake", lat: 37.0, lon: 25.0, radius_km: 400.0 },
+    HazardZone { name: "Anatolian Fault", kind: "earthquake", lat: 40.8, lon: 30.5, radius_km: 350.0 },
+    HazardZone { name: "San Andreas", kind: "earthquake", lat: 34.2, lon: -118.5, radius_km: 400.0 },
+    HazardZone { name: "Makran Margin", kind: "earthquake", lat: 25.2, lon: 62.0, radius_km: 450.0 },
+    // Hurricanes / typhoons / cyclones.
+    HazardZone { name: "Caribbean Basin", kind: "hurricane", lat: 24.5, lon: -78.0, radius_km: 700.0 },
+    HazardZone { name: "US East Coast", kind: "hurricane", lat: 35.0, lon: -75.0, radius_km: 550.0 },
+    HazardZone { name: "Western Pacific Typhoon Alley", kind: "hurricane", lat: 20.0, lon: 124.0, radius_km: 800.0 },
+    HazardZone { name: "South China Sea", kind: "hurricane", lat: 16.0, lon: 112.0, radius_km: 600.0 },
+    HazardZone { name: "Bay of Bengal", kind: "hurricane", lat: 18.0, lon: 89.0, radius_km: 600.0 },
+];
+
+/// Instantiates disaster specs for the requested kinds at probability `p`.
+pub fn compile(kinds: &[String], p: f64) -> Vec<DisasterSpec> {
+    HAZARD_ZONES
+        .iter()
+        .filter(|z| kinds.iter().any(|k| k.eq_ignore_ascii_case(z.kind)))
+        .map(|z| DisasterSpec {
+            kind: z.kind.to_string(),
+            name: z.name.to_string(),
+            footprint: net_model::geo::GeoCircle::new(GeoPoint::of(z.lat, z.lon), z.radius_km),
+            failure_prob: p,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_both_kinds() {
+        let quakes = HAZARD_ZONES.iter().filter(|z| z.kind == "earthquake").count();
+        let storms = HAZARD_ZONES.iter().filter(|z| z.kind == "hurricane").count();
+        assert!(quakes >= 5);
+        assert!(storms >= 4);
+    }
+
+    #[test]
+    fn compile_filters_by_kind() {
+        let only_quakes = compile(&["earthquake".to_string()], 0.1);
+        assert!(only_quakes.iter().all(|d| d.kind == "earthquake"));
+        let both = compile(&["earthquake".to_string(), "hurricane".to_string()], 0.1);
+        assert_eq!(both.len(), HAZARD_ZONES.len());
+        assert!(compile(&["flood".to_string()], 0.1).is_empty());
+        for d in &both {
+            assert!((d.failure_prob - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zones_have_valid_coordinates() {
+        for z in HAZARD_ZONES {
+            assert!(net_model::GeoPoint::new(z.lat, z.lon).is_ok(), "{}", z.name);
+            assert!(z.radius_km > 0.0);
+        }
+    }
+}

@@ -1,0 +1,728 @@
+//! The standard tool runtime: dispatches every catalog function onto the
+//! substrate crates, (de)serializing step values as JSON.
+//!
+//! Expensive artifacts (cross-layer mapping, BGP update stream, probe
+//! campaigns) are cached per scenario, exactly as a real deployment would
+//! cache collector downloads and mapping runs.
+
+use std::collections::BTreeMap;
+
+use net_model::{CableId, Region, SimDuration, SimTime, TimeWindow};
+use parking_lot::Mutex;
+use registry::{DataFormat as F, FunctionId};
+use workflow::{ToolError, ToolRuntime, TypedValue};
+use world::Scenario;
+
+use bgp_sim::{detect_update_bursts, BgpSimulator, BgpUpdate};
+use nautilus_sim::{DependencyTable, MappingConfig, NautilusMapper};
+use traceroute_sim::TracerouteSimulator;
+use xaminer_sim::{CascadeConfig, FailureEvent, FailureImpact, XaminerEngine};
+
+use crate::analysis;
+use crate::data::*;
+use crate::disasters;
+
+/// The standard runtime over one scenario.
+pub struct StandardRuntime {
+    scenario: Scenario,
+    cache: Mutex<BTreeMap<String, serde_json::Value>>,
+}
+
+impl StandardRuntime {
+    pub fn new(scenario: Scenario) -> Self {
+        StandardRuntime { scenario, cache: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The scenario under measurement.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    fn cached<Build>(&self, key: &str, build: Build) -> Result<serde_json::Value, ToolError>
+    where
+        Build: FnOnce() -> Result<serde_json::Value, ToolError>,
+    {
+        if let Some(v) = self.cache.lock().get(key) {
+            return Ok(v.clone());
+        }
+        let v = build()?;
+        self.cache.lock().insert(key.to_string(), v.clone());
+        Ok(v)
+    }
+
+    // -- cached artifacts ---------------------------------------------------
+
+    fn mapping_json(&self) -> Result<serde_json::Value, ToolError> {
+        self.cached("nautilus.mapping", || {
+            let table = NautilusMapper::new(MappingConfig::default())
+                .map_world(&self.scenario.world);
+            Ok(serde_json::to_value(table).expect("mapping serializes"))
+        })
+    }
+
+    fn default_deps(&self) -> Result<DependencyTable, ToolError> {
+        let json = self.cached("nautilus.default_deps", || {
+            let mapping = NautilusMapper::new(MappingConfig::default())
+                .map_world(&self.scenario.world);
+            let deps = DependencyTable::from_mapping(&self.scenario.world, &mapping, 0.2);
+            Ok(serde_json::to_value(deps).expect("deps serialize"))
+        })?;
+        de_value("default_deps", json)
+    }
+
+    fn updates_full(&self) -> Result<Vec<BgpUpdate>, ToolError> {
+        let json = self.cached("bgp.updates_full", || {
+            let sim = BgpSimulator::new(&self.scenario);
+            Ok(serde_json::to_value(sim.updates()).expect("updates serialize"))
+        })?;
+        de_value("bgp updates", json)
+    }
+}
+
+// -- small (de)serialization helpers ----------------------------------------
+
+fn need<'a>(
+    args: &'a BTreeMap<String, TypedValue>,
+    function: &FunctionId,
+    name: &str,
+) -> Result<&'a TypedValue, ToolError> {
+    args.get(name).ok_or_else(|| ToolError::BadArgument {
+        function: function.clone(),
+        message: format!("missing argument {name}"),
+    })
+}
+
+fn de<T: serde::de::DeserializeOwned>(
+    function: &FunctionId,
+    name: &str,
+    tv: &TypedValue,
+) -> Result<T, ToolError> {
+    serde_json::from_value(tv.value.clone()).map_err(|e| ToolError::BadArgument {
+        function: function.clone(),
+        message: format!("argument {name}: {e}"),
+    })
+}
+
+fn de_value<T: serde::de::DeserializeOwned>(
+    what: &str,
+    v: serde_json::Value,
+) -> Result<T, ToolError> {
+    serde_json::from_value(v).map_err(|e| ToolError::Failed {
+        function: FunctionId::from("internal.cache"),
+        message: format!("{what}: {e}"),
+    })
+}
+
+fn ok<T: serde::Serialize>(format: F, value: &T) -> Result<TypedValue, ToolError> {
+    Ok(TypedValue::new(format, serde_json::to_value(value).expect("outputs serialize")))
+}
+
+#[derive(serde::Deserialize)]
+struct WindowArg {
+    start: i64,
+    end: i64,
+}
+
+impl WindowArg {
+    fn to_window(&self) -> TimeWindow {
+        TimeWindow::new(SimTime(self.start), SimTime(self.end))
+    }
+}
+
+fn parse_region(function: &FunctionId, name: &str, tv: &TypedValue) -> Result<Region, ToolError> {
+    let s: String = de(function, name, tv)?;
+    Region::parse(&s).ok_or_else(|| ToolError::BadArgument {
+        function: function.clone(),
+        message: format!("unknown region {s:?}"),
+    })
+}
+
+impl ToolRuntime for StandardRuntime {
+    fn invoke(
+        &self,
+        function: &FunctionId,
+        args: &BTreeMap<String, TypedValue>,
+    ) -> Result<TypedValue, ToolError> {
+        let world = &self.scenario.world;
+        match function.0.as_str() {
+            // ------------------------------------------------ nautilus ----
+            "nautilus.map_links" => {
+                Ok(TypedValue::new(F::MappingTable, self.mapping_json()?))
+            }
+            "nautilus.dependency_table" => {
+                let mapping: nautilus_sim::MappingTable =
+                    de(function, "mapping", need(args, function, "mapping")?)?;
+                let deps = DependencyTable::from_mapping(world, &mapping, 0.2);
+                ok(F::DependencyTable, &deps)
+            }
+            "nautilus.resolve_cable" => {
+                let name: String = de(function, "cable_name", need(args, function, "cable_name")?)?;
+                let cable = world.cable_by_name(&name).ok_or_else(|| ToolError::Failed {
+                    function: function.clone(),
+                    message: format!("cable {name:?} not found in the cartography catalog"),
+                })?;
+                ok(F::CableRef, &CableRefData { id: cable.id.0, name: cable.name.clone() })
+            }
+            "nautilus.cable_dependencies" => {
+                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                let cable: CableRefData = de(function, "cable", need(args, function, "cable")?)?;
+                ok(F::CableDependencies, &deps.for_cable(CableId(cable.id)))
+            }
+
+            // ------------------------------------------------- xaminer ----
+            "xaminer.process_event" => {
+                let event: FailureEvent = de(function, "event", need(args, function, "event")?)?;
+                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                let engine = XaminerEngine::new(world, deps);
+                ok(F::FailureImpact, &engine.process(&event))
+            }
+            "xaminer.impact_report" => {
+                let impact: FailureImpact =
+                    de(function, "impact", need(args, function, "impact")?)?;
+                ok(F::ImpactReport, &xaminer_sim::impact::aggregate(world, &impact))
+            }
+            "xaminer.country_aggregate" => {
+                let report: xaminer_sim::ImpactReport =
+                    de(function, "report", need(args, function, "report")?)?;
+                ok(F::CountryImpactTable, &country_table(&report))
+            }
+            "xaminer.event_impact" => {
+                let event: FailureEvent = de(function, "event", need(args, function, "event")?)?;
+                let deps = self.default_deps()?;
+                let engine = XaminerEngine::new(world, deps);
+                let report = engine.impact_report(&event);
+                ok(F::CountryImpactTable, &country_table(&report))
+            }
+            "xaminer.cascade" => {
+                let impact: FailureImpact =
+                    de(function, "impact", need(args, function, "impact")?)?;
+                let config = CascadeConfig { base_load: 0.75, ..CascadeConfig::default() };
+                let timeline = xaminer_sim::cascade::propagate(world, &impact, &config);
+                ok(F::CascadeTimeline, &timeline)
+            }
+            "xaminer.risk_profiles" => {
+                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                ok(F::RiskProfiles, &xaminer_sim::risk::all_risk_profiles(world, &deps))
+            }
+
+            // ----------------------------------------------------- bgp ----
+            "bgp.updates" => {
+                let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
+                let window = w.to_window();
+                let updates: Vec<BgpUpdate> = self
+                    .updates_full()?
+                    .into_iter()
+                    .filter(|u| window.contains(u.time))
+                    .collect();
+                ok(F::BgpUpdates, &updates)
+            }
+            "bgp.rib_snapshot" => {
+                let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
+                let sim = BgpSimulator::new(&self.scenario);
+                let peers: Vec<net_model::Asn> =
+                    sim.collectors().iter().take(10).copied().collect();
+                let rib = bgp_sim::RibSnapshot::capture(
+                    &self.scenario,
+                    &peers,
+                    w.to_window().end,
+                );
+                ok(F::RibSnapshot, &rib)
+            }
+            "bgp.detect_bursts" => {
+                let updates: Vec<BgpUpdate> =
+                    de(function, "updates", need(args, function, "updates")?)?;
+                let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
+                let window = w.to_window();
+                let hours = (window.duration().as_seconds() / 3600).clamp(24, 400) as usize;
+                let bursts = detect_update_bursts(&updates, window, hours, 3.0);
+                ok(F::BgpBursts, &bursts)
+            }
+            "bgp.reachability_losses" => {
+                let updates: Vec<BgpUpdate> =
+                    de(function, "updates", need(args, function, "updates")?)?;
+                let rows: Vec<serde_json::Value> = bgp_sim::reachability_losses(&updates)
+                    .into_iter()
+                    .map(|(peer, prefix, t)| {
+                        serde_json::json!({
+                            "peer": peer.0,
+                            "prefix": prefix.to_string(),
+                            "withdrawn_at": t.0,
+                        })
+                    })
+                    .collect();
+                ok(F::Table, &rows)
+            }
+
+            // ----------------------------------------------- traceroute ----
+            "traceroute.campaign" => {
+                let src = parse_region(function, "src_region", need(args, function, "src_region")?)?;
+                let dst = parse_region(function, "dst_region", need(args, function, "dst_region")?)?;
+                let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
+                let key = format!("campaign:{src:?}:{dst:?}:{}:{}", w.start, w.end);
+                let json = self.cached(&key, || {
+                    let campaign = run_campaign(&self.scenario, src, dst, w.to_window());
+                    Ok(serde_json::to_value(campaign).expect("campaign serializes"))
+                })?;
+                Ok(TypedValue::new(F::TracerouteCampaign, json))
+            }
+            "traceroute.rtt_series" => {
+                let campaign: CampaignData =
+                    de(function, "campaign", need(args, function, "campaign")?)?;
+                ok(F::RttSeries, &analysis::rtt_series(&campaign, 6 * 3600))
+            }
+            "traceroute.detect_anomaly" => {
+                let campaign: CampaignData =
+                    de(function, "campaign", need(args, function, "campaign")?)?;
+                ok(F::AnomalyReport, &analysis::detect_anomaly(&campaign))
+            }
+
+            // ---------------------------------------------------- util ----
+            "util.cable_failure_event" => {
+                let cable: CableRefData = de(function, "cable", need(args, function, "cable")?)?;
+                ok(F::FailureEventSpec, &FailureEvent::CableFailure { cable: CableId(cable.id) })
+            }
+            "util.compile_disasters" => {
+                #[derive(serde::Deserialize)]
+                struct Kind {
+                    kind: String,
+                }
+                let kinds: Vec<Kind> =
+                    de(function, "disasters", need(args, function, "disasters")?)?;
+                let p: f64 = de(
+                    function,
+                    "failure_probability",
+                    need(args, function, "failure_probability")?,
+                )?;
+                let kinds: Vec<String> = kinds.into_iter().map(|k| k.kind).collect();
+                let specs = disasters::compile(&kinds, p);
+                if specs.is_empty() {
+                    return Err(ToolError::Failed {
+                        function: function.clone(),
+                        message: format!("no hazard zones match kinds {kinds:?}"),
+                    });
+                }
+                let event = FailureEvent::Compound(
+                    specs.into_iter().map(FailureEvent::Disaster).collect(),
+                );
+                ok(F::FailureEventSpec, &event)
+            }
+            "util.combine_impact_tables" => {
+                let a: CountryTableData = de(function, "a", need(args, function, "a")?)?;
+                let b: CountryTableData = de(function, "b", need(args, function, "b")?)?;
+                ok(F::CountryImpactTable, &combine_tables(&a, &b))
+            }
+            "util.corridor_failure_event" => {
+                let src = parse_region(function, "src_region", need(args, function, "src_region")?)?;
+                let dst = parse_region(function, "dst_region", need(args, function, "dst_region")?)?;
+                let cables = corridor_cables(world, src, dst, 3);
+                if cables.is_empty() {
+                    return Err(ToolError::Failed {
+                        function: function.clone(),
+                        message: format!("no cable systems connect {src} and {dst}"),
+                    });
+                }
+                let event = FailureEvent::Compound(
+                    cables
+                        .into_iter()
+                        .map(|cable| FailureEvent::CableFailure { cable })
+                        .collect(),
+                );
+                ok(F::FailureEventSpec, &event)
+            }
+            "util.score_suspect_cables" => {
+                let anomaly: AnomalyData =
+                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                let mut cable_links: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+                let mut names: BTreeMap<u32, String> = BTreeMap::new();
+                for cable in deps.cables() {
+                    let entry = deps.for_cable(cable);
+                    cable_links
+                        .insert(cable.0, entry.links.iter().map(|l| l.0).collect());
+                    names.insert(cable.0, world.cable(cable).name.clone());
+                }
+                ok(
+                    F::SuspectRanking,
+                    &analysis::score_suspects(&anomaly, &cable_links, &names),
+                )
+            }
+            "util.correlate_evidence" => {
+                let bursts: Vec<bgp_sim::UpdateBurst> =
+                    de(function, "bursts", need(args, function, "bursts")?)?;
+                let anomaly: AnomalyData =
+                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                let times: Vec<i64> = bursts.iter().map(|b| b.window.start.0).collect();
+                ok(F::CorrelationReport, &analysis::correlate(&times, bursts.len(), &anomaly))
+            }
+            "util.synthesize_verdict" => {
+                let suspects: SuspectData =
+                    de(function, "suspects", need(args, function, "suspects")?)?;
+                let correlation: CorrelationData =
+                    de(function, "correlation", need(args, function, "correlation")?)?;
+                let anomaly: AnomalyData =
+                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                ok(
+                    F::ForensicVerdict,
+                    &analysis::synthesize_verdict(&suspects, &correlation, &anomaly),
+                )
+            }
+            "util.build_timeline" => {
+                let cascade: xaminer_sim::CascadeTimeline =
+                    de(function, "cascade", need(args, function, "cascade")?)?;
+                let bursts: Vec<bgp_sim::UpdateBurst> =
+                    de(function, "bursts", need(args, function, "bursts")?)?;
+                let anomaly: AnomalyData =
+                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                // Anchor cascade offsets at the first observed event (or the
+                // horizon start for pure what-if analyses).
+                let anchor = self
+                    .scenario
+                    .timeline()
+                    .first()
+                    .map(|(t, _)| *t)
+                    .unwrap_or(self.scenario.horizon.start);
+                let mut cascade_events: Vec<(i64, String, String)> = Vec::new();
+                for round in &cascade.rounds {
+                    let t = (anchor + round.at_offset).0;
+                    if !round.newly_failed_links.is_empty() {
+                        cascade_events.push((
+                            t,
+                            if round.round == 0 { "cable".into() } else { "ip".into() },
+                            format!(
+                                "round {}: {} link(s) failed",
+                                round.round,
+                                round.newly_failed_links.len()
+                            ),
+                        ));
+                    }
+                    if !round.newly_degraded_ases.is_empty() {
+                        cascade_events.push((
+                            t,
+                            "as".into(),
+                            format!(
+                                "round {}: {} AS(es) degraded",
+                                round.round,
+                                round.newly_degraded_ases.len()
+                            ),
+                        ));
+                    }
+                }
+                let burst_times: Vec<i64> = bursts.iter().map(|b| b.window.start.0).collect();
+                ok(
+                    F::UnifiedTimeline,
+                    &analysis::build_timeline(&cascade_events, &burst_times, &anomaly),
+                )
+            }
+
+            // ------------------------------------------------------ qa ----
+            "qa.verify_output" => {
+                let value = need(args, function, "value")?;
+                let mut checks = vec!["non-null".to_string()];
+                let mut notes = Vec::new();
+                let mut passed = !value.value.is_null();
+                if value.is_empty_payload() {
+                    passed = false;
+                    notes.push("result payload is empty".to_string());
+                } else {
+                    checks.push("non-empty".to_string());
+                }
+                checks.push(format!("declared format {}", value.format));
+                ok(F::QaReport, &QaData { passed, checks, notes })
+            }
+
+            _ => Err(ToolError::Unbound(function.clone())),
+        }
+    }
+}
+
+/// Combines two country tables: counts add, scores compose as independent
+/// events (`1 − (1−a)(1−b)`), rows re-sort by score.
+fn combine_tables(a: &CountryTableData, b: &CountryTableData) -> CountryTableData {
+    let mut by_country: BTreeMap<String, CountryRow> = BTreeMap::new();
+    for row in a.rows.iter().chain(&b.rows) {
+        match by_country.get_mut(&row.country) {
+            None => {
+                by_country.insert(row.country.clone(), row.clone());
+            }
+            Some(acc) => {
+                acc.ips_affected += row.ips_affected;
+                acc.links_affected += row.links_affected;
+                acc.ases_affected = acc.ases_affected.max(row.ases_affected);
+                acc.as_links_affected += row.as_links_affected;
+                acc.impact_score = 1.0 - (1.0 - acc.impact_score) * (1.0 - row.impact_score);
+            }
+        }
+    }
+    let mut rows: Vec<CountryRow> = by_country.into_values().collect();
+    rows.sort_by(|x, y| {
+        y.impact_score.partial_cmp(&x.impact_score).unwrap().then(x.country.cmp(&y.country))
+    });
+    CountryTableData { rows }
+}
+
+/// Converts an impact report into the country table schema.
+fn country_table(report: &xaminer_sim::ImpactReport) -> CountryTableData {
+    CountryTableData {
+        rows: report
+            .per_country
+            .iter()
+            .map(|c| CountryRow {
+                country: c.country.code().to_string(),
+                ips_affected: c.ips_affected,
+                links_affected: c.links_affected,
+                ases_affected: c.ases_affected,
+                as_links_affected: c.as_links_affected,
+                impact_score: c.impact_score,
+            })
+            .collect(),
+    }
+}
+
+/// The main cable systems connecting two regions, by dependent-link count.
+fn corridor_cables(
+    world: &world::World,
+    src: Region,
+    dst: Region,
+    limit: usize,
+) -> Vec<CableId> {
+    let mut scored: Vec<(usize, CableId)> = world
+        .cables
+        .iter()
+        .filter(|c| {
+            let regions: Vec<Region> =
+                c.landings.iter().map(|&l| world.city(l).region).collect();
+            regions.contains(&src) && regions.contains(&dst)
+        })
+        .map(|c| (world.links_on_cable(c.id).len(), c.id))
+        .filter(|(n, _)| *n > 0)
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(limit).map(|(_, c)| c).collect()
+}
+
+/// Runs a probe campaign: up to 16 probes from `src`, up to 12 access-AS
+/// destinations in `dst`, two Paris flows per pair, sampled every 8 hours.
+/// The flow sweep broadens link coverage (MDA-style), which the forensic
+/// suspect scoring depends on.
+fn run_campaign(
+    scenario: &Scenario,
+    src: Region,
+    dst: Region,
+    window: TimeWindow,
+) -> CampaignData {
+    let world = &scenario.world;
+    let sim = TracerouteSimulator::new(scenario);
+
+    let all_probes: Vec<&world::Probe> =
+        world.probes.iter().filter(|p| p.region == src).collect();
+    let step = (all_probes.len() / 16).max(1);
+    let probes: Vec<&world::Probe> = all_probes.iter().step_by(step).take(16).copied().collect();
+
+    let all_dests: Vec<net_model::Ipv4Addr> = world
+        .prefixes
+        .iter()
+        .filter(|p| {
+            world
+                .as_info(p.origin)
+                .map(|a| a.region == dst && a.tier == world::AsTier::Access)
+                == Some(true)
+        })
+        .map(|p| p.net.host(1))
+        .collect();
+    let dstep = (all_dests.len() / 12).max(1);
+    let dests: Vec<net_model::Ipv4Addr> =
+        all_dests.iter().step_by(dstep).take(12).copied().collect();
+
+    let interval = SimDuration::hours(8);
+    let mut measurements = Vec::new();
+    let mut t = window.start;
+    while t < window.end {
+        for probe in &probes {
+            for &dest in &dests {
+                for flow in [0u16, 1] {
+                    let fwd =
+                        traceroute_sim::path::forwarding_path(&sim, probe.id, dest, t, flow);
+                    let trace =
+                        traceroute_sim::rtt::execute(&sim, probe.id, dest, t, flow, &fwd);
+                    measurements.push(MeasurementData {
+                        probe: probe.id.0,
+                        dst: dest.to_string(),
+                        time: t.0,
+                        rtt_ms: trace.end_to_end_rtt(),
+                        links: fwd.links().iter().map(|l| l.0).collect(),
+                    });
+                }
+            }
+        }
+        t = t + interval;
+    }
+
+    CampaignData {
+        src_region: src.name().to_string(),
+        dst_region: dst.name().to_string(),
+        window_start: window.start.0,
+        window_end: window.end.0,
+        interval_s: interval.as_seconds(),
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    fn tv(format: F, v: serde_json::Value) -> TypedValue {
+        TypedValue::new(format, v)
+    }
+
+    fn invoke(
+        rt: &StandardRuntime,
+        id: &str,
+        args: Vec<(&str, TypedValue)>,
+    ) -> Result<TypedValue, ToolError> {
+        let map: BTreeMap<String, TypedValue> =
+            args.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        rt.invoke(&FunctionId::from(id), &map)
+    }
+
+    #[test]
+    fn resolve_and_fail_cable() {
+        let rt = StandardRuntime::new(scenarios::cs1_scenario());
+        let cable = invoke(
+            &rt,
+            "nautilus.resolve_cable",
+            vec![("cable_name", tv(F::Text, serde_json::json!("SeaMeWe-5")))],
+        )
+        .unwrap();
+        let c: CableRefData = serde_json::from_value(cable.value.clone()).unwrap();
+        assert_eq!(c.name, "SeaMeWe-5");
+
+        let missing = invoke(
+            &rt,
+            "nautilus.resolve_cable",
+            vec![("cable_name", tv(F::Text, serde_json::json!("Atlantis Express")))],
+        );
+        assert!(matches!(missing, Err(ToolError::Failed { .. })));
+
+        let event = invoke(&rt, "util.cable_failure_event", vec![("cable", cable)]).unwrap();
+        assert_eq!(event.format, F::FailureEventSpec);
+    }
+
+    #[test]
+    fn cs1_manual_chain_produces_country_table() {
+        let rt = StandardRuntime::new(scenarios::cs1_scenario());
+        let mapping = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
+        let deps =
+            invoke(&rt, "nautilus.dependency_table", vec![("mapping", mapping)]).unwrap();
+        let cable = invoke(
+            &rt,
+            "nautilus.resolve_cable",
+            vec![("cable_name", tv(F::Text, serde_json::json!("SeaMeWe-5")))],
+        )
+        .unwrap();
+        let event =
+            invoke(&rt, "util.cable_failure_event", vec![("cable", cable)]).unwrap();
+        let impact = invoke(
+            &rt,
+            "xaminer.process_event",
+            vec![("event", event), ("deps", deps)],
+        )
+        .unwrap();
+        let report = invoke(&rt, "xaminer.impact_report", vec![("impact", impact)]).unwrap();
+        let table =
+            invoke(&rt, "xaminer.country_aggregate", vec![("report", report)]).unwrap();
+        let t: CountryTableData = serde_json::from_value(table.value).unwrap();
+        assert!(!t.rows.is_empty());
+        assert!(t.rows[0].impact_score >= t.rows.last().unwrap().impact_score);
+    }
+
+    #[test]
+    fn event_impact_is_one_call() {
+        let rt = StandardRuntime::new(scenarios::cs2_scenario());
+        let disasters = tv(
+            F::DisasterSpecs,
+            serde_json::json!([{"kind": "earthquake", "qualifier": "severe"},
+                               {"kind": "hurricane", "qualifier": "globally"}]),
+        );
+        let event = invoke(
+            &rt,
+            "util.compile_disasters",
+            vec![
+                ("disasters", disasters),
+                ("failure_probability", tv(F::Scalar, serde_json::json!(0.1))),
+            ],
+        )
+        .unwrap();
+        let table = invoke(&rt, "xaminer.event_impact", vec![("event", event)]).unwrap();
+        let t: CountryTableData = serde_json::from_value(table.value).unwrap();
+        assert!(!t.rows.is_empty(), "a 12-zone catalog at 10% must hit something");
+    }
+
+    #[test]
+    fn corridor_event_connects_europe_asia() {
+        let rt = StandardRuntime::new(scenarios::cs3_scenario());
+        let event = invoke(
+            &rt,
+            "util.corridor_failure_event",
+            vec![
+                ("src_region", tv(F::RegionScope, serde_json::json!("Europe"))),
+                ("dst_region", tv(F::RegionScope, serde_json::json!("Asia"))),
+            ],
+        )
+        .unwrap();
+        let ev: FailureEvent = serde_json::from_value(event.value).unwrap();
+        match ev {
+            FailureEvent::Compound(events) => {
+                assert!((1..=3).contains(&events.len()));
+            }
+            other => panic!("expected compound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bgp_pipeline_detects_cs3_bursts() {
+        let rt = StandardRuntime::new(scenarios::cs3_scenario());
+        let window = tv(F::TimeWindow, serde_json::json!({"start": 0, "end": 10 * 86_400}));
+        let updates = invoke(&rt, "bgp.updates", vec![("window", window.clone())]).unwrap();
+        let bursts = invoke(
+            &rt,
+            "bgp.detect_bursts",
+            vec![("updates", updates), ("window", window)],
+        )
+        .unwrap();
+        let b: Vec<bgp_sim::UpdateBurst> = serde_json::from_value(bursts.value).unwrap();
+        assert!(!b.is_empty(), "two cable cuts must burst");
+    }
+
+    #[test]
+    fn unknown_function_is_unbound() {
+        let rt = StandardRuntime::new(scenarios::cs1_scenario());
+        assert!(matches!(
+            invoke(&rt, "frobnicate.all", vec![]),
+            Err(ToolError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn qa_flags_empty_results() {
+        let rt = StandardRuntime::new(scenarios::cs1_scenario());
+        let bad = invoke(
+            &rt,
+            "qa.verify_output",
+            vec![("value", tv(F::Table, serde_json::json!([])))],
+        )
+        .unwrap();
+        let qa: QaData = serde_json::from_value(bad.value).unwrap();
+        assert!(!qa.passed);
+
+        let good = invoke(
+            &rt,
+            "qa.verify_output",
+            vec![("value", tv(F::Table, serde_json::json!([{"x": 1}])))],
+        )
+        .unwrap();
+        let qa: QaData = serde_json::from_value(good.value).unwrap();
+        assert!(qa.passed);
+    }
+}

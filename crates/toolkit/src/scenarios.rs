@@ -1,0 +1,108 @@
+//! Standard case-study scenarios — the measurement conditions under which
+//! the paper's four queries are asked.
+
+use net_model::{Region, SimDuration, SimTime};
+use world::{generate, EventKind, Scenario, WorldConfig};
+
+/// The standard evaluation world (seed 42).
+pub fn standard_world() -> world::World {
+    generate(&WorldConfig::default())
+}
+
+/// CS1 — "impact at a country level due to SeaMeWe-5 cable failure".
+/// The failure is *hypothetical* (what-if analysis), so the measurement
+/// record itself is quiet.
+pub fn cs1_scenario() -> Scenario {
+    Scenario::quiet(standard_world(), 10)
+}
+
+/// CS2 — "severe earthquakes and hurricanes globally at 10% failure
+/// probability". Also a what-if: quiet record.
+pub fn cs2_scenario() -> Scenario {
+    Scenario::quiet(standard_world(), 10)
+}
+
+/// CS3 — "cascading effects of submarine cable failures between Europe and
+/// Asia". The record *contains* the corridor failures (the 2022 AAE-1
+/// pattern: two systems failing in close succession), so the temporal
+/// sub-analyses have real BGP and latency evolution to observe.
+pub fn cs3_scenario() -> Scenario {
+    let world = standard_world();
+    let smw5 = world.cable_by_name("SeaMeWe-5").expect("curated").id;
+    let aae1 = world.cable_by_name("AAE-1").expect("curated").id;
+    let t1 = SimTime::EPOCH + SimDuration::days(4);
+    let t2 = t1 + SimDuration::hours(10);
+    Scenario::quiet(world, 10)
+        .with_event(EventKind::CableCut { cable: smw5 }, t1)
+        .with_event(EventKind::CableCut { cable: aae1 }, t2)
+}
+
+/// The cable cut in the CS4 scenario.
+pub const CS4_CULPRIT: &str = "SeaMeWe-4";
+
+/// CS4 — the forensic scenario: a Europe–Asia cable fails three days
+/// before "now", producing the latency anomaly the query asks about.
+pub fn cs4_scenario() -> Scenario {
+    let world = standard_world();
+    let cable = world.cable_by_name(CS4_CULPRIT).expect("curated").id;
+    let horizon_days = 14;
+    let cut_at = SimTime::EPOCH + SimDuration::days(horizon_days - 3);
+    Scenario::quiet(world, horizon_days).with_event(EventKind::CableCut { cable }, cut_at)
+}
+
+/// CS4 negative control — the same latency symptom caused by congestion,
+/// with **no** cable failure. A sound forensic workflow must not blame a
+/// cable here.
+pub fn cs4_negative_scenario() -> Scenario {
+    let world = standard_world();
+    let horizon_days = 14;
+    let start = SimTime::EPOCH + SimDuration::days(horizon_days - 3);
+    let mut s = Scenario::quiet(world, horizon_days);
+    s.push_event(
+        EventKind::CongestionSurge {
+            from: Region::Europe,
+            to: Region::Asia,
+            extra_ms: 45.0,
+        },
+        start,
+        None,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cs3_has_two_cable_cuts_in_order() {
+        let s = cs3_scenario();
+        let tl = s.timeline();
+        assert_eq!(tl.len(), 2);
+        assert!(tl[0].0 < tl[1].0);
+    }
+
+    #[test]
+    fn cs4_cut_lands_three_days_before_now() {
+        let s = cs4_scenario();
+        let tl = s.timeline();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(s.now.since(tl[0].0), SimDuration::days(3));
+    }
+
+    #[test]
+    fn cs4_negative_has_no_failed_links() {
+        let s = cs4_negative_scenario();
+        assert!(s.links_down_at(s.now).is_empty());
+        assert_eq!(
+            s.congestion_extra_ms(s.now - SimDuration::days(1), Region::Europe, Region::Asia),
+            45.0
+        );
+    }
+
+    #[test]
+    fn what_if_scenarios_are_quiet() {
+        assert!(cs1_scenario().timeline().is_empty());
+        assert!(cs2_scenario().timeline().is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Static validation of workflows against a registry.
+//!
+//! Catches the "standard programming issues" the paper says remain in
+//! LLM-generated code — before execution: unknown functions, missing or
+//! superfluous parameters, data-format mismatches, references to steps
+//! that do not exist or come later (the steps list must already be in
+//! topological order), duplicate step ids, and missing outputs.
+
+use std::collections::BTreeMap;
+
+use registry::{DataFormat, Registry};
+
+use crate::{Binding, StepId, Workflow};
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    UnknownFunction { step: StepId, function: String },
+    DuplicateStepId { step: StepId },
+    MissingRequiredParam { step: StepId, param: String },
+    UnknownParam { step: StepId, param: String },
+    FormatMismatch { step: StepId, param: String, expected: DataFormat, found: DataFormat },
+    DanglingStepRef { step: StepId, param: String, target: StepId },
+    ForwardStepRef { step: StepId, param: String, target: StepId },
+    UnknownOutput { output: StepId },
+    EmptyWorkflow,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::UnknownFunction { step, function } => {
+                write!(f, "step {step}: unknown function {function}")
+            }
+            TypeError::DuplicateStepId { step } => write!(f, "duplicate step id {step}"),
+            TypeError::MissingRequiredParam { step, param } => {
+                write!(f, "step {step}: missing required parameter {param}")
+            }
+            TypeError::UnknownParam { step, param } => {
+                write!(f, "step {step}: function takes no parameter {param}")
+            }
+            TypeError::FormatMismatch { step, param, expected, found } => write!(
+                f,
+                "step {step}: parameter {param} expects {expected}, got {found}"
+            ),
+            TypeError::DanglingStepRef { step, param, target } => {
+                write!(f, "step {step}: parameter {param} references unknown step {target}")
+            }
+            TypeError::ForwardStepRef { step, param, target } => {
+                write!(f, "step {step}: parameter {param} references later step {target}")
+            }
+            TypeError::UnknownOutput { output } => {
+                write!(f, "workflow output references unknown step {output}")
+            }
+            TypeError::EmptyWorkflow => write!(f, "workflow has no steps"),
+        }
+    }
+}
+
+/// Validates a workflow; returns every finding (not just the first).
+pub fn check(workflow: &Workflow, registry: &Registry) -> Vec<TypeError> {
+    let mut errors = Vec::new();
+
+    if workflow.steps.is_empty() {
+        errors.push(TypeError::EmptyWorkflow);
+        return errors;
+    }
+
+    // Output format of each step, as declared by the registry.
+    let mut produced: BTreeMap<&StepId, DataFormat> = BTreeMap::new();
+    let mut seen: Vec<&StepId> = Vec::new();
+
+    for step in &workflow.steps {
+        if seen.contains(&&step.id) {
+            errors.push(TypeError::DuplicateStepId { step: step.id.clone() });
+        }
+
+        let entry = match registry.get(&step.function) {
+            Some(e) => e,
+            None => {
+                errors.push(TypeError::UnknownFunction {
+                    step: step.id.clone(),
+                    function: step.function.0.clone(),
+                });
+                seen.push(&step.id);
+                continue;
+            }
+        };
+
+        // Required params present?
+        for p in entry.required_inputs() {
+            if !step.inputs.contains_key(&p.name) {
+                errors.push(TypeError::MissingRequiredParam {
+                    step: step.id.clone(),
+                    param: p.name.clone(),
+                });
+            }
+        }
+
+        // Each binding refers to a declared param with a compatible format.
+        for (name, binding) in &step.inputs {
+            let param = match entry.param(name) {
+                Some(p) => p,
+                None => {
+                    errors.push(TypeError::UnknownParam {
+                        step: step.id.clone(),
+                        param: name.clone(),
+                    });
+                    continue;
+                }
+            };
+            let found: Option<DataFormat> = match binding {
+                Binding::Const { format, .. } => Some(*format),
+                Binding::QueryArg { format, .. } => Some(*format),
+                Binding::Step(target) => {
+                    if let Some(fmt) = produced.get(target) {
+                        Some(*fmt)
+                    } else if workflow.steps.iter().any(|s| &s.id == target) {
+                        errors.push(TypeError::ForwardStepRef {
+                            step: step.id.clone(),
+                            param: name.clone(),
+                            target: target.clone(),
+                        });
+                        None
+                    } else {
+                        errors.push(TypeError::DanglingStepRef {
+                            step: step.id.clone(),
+                            param: name.clone(),
+                            target: target.clone(),
+                        });
+                        None
+                    }
+                }
+            };
+            if let Some(found) = found {
+                if !found.compatible_with(param.format) {
+                    errors.push(TypeError::FormatMismatch {
+                        step: step.id.clone(),
+                        param: name.clone(),
+                        expected: param.format,
+                        found,
+                    });
+                }
+            }
+        }
+
+        produced.insert(&step.id, entry.output);
+        seen.push(&step.id);
+    }
+
+    for output in &workflow.outputs {
+        if !workflow.steps.iter().any(|s| &s.id == output) {
+            errors.push(TypeError::UnknownOutput { output: output.clone() });
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Step;
+    use registry::{CapabilityEntry, Param};
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CapabilityEntry::new(
+            "t.source",
+            "t",
+            "produces a dependency table",
+            vec![],
+            DataFormat::DependencyTable,
+        ))
+        .unwrap();
+        r.register(CapabilityEntry::new(
+            "t.sink",
+            "t",
+            "consumes a dependency table",
+            vec![
+                Param::required("deps", DataFormat::DependencyTable),
+                Param::optional("threshold", DataFormat::Scalar),
+            ],
+            DataFormat::ImpactReport,
+        ))
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn valid_workflow_passes() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "t.source"))
+            .with_step(Step::new("b", "t.sink").bind_step("deps", "a"))
+            .with_output("b");
+        assert!(check(&wf, &registry()).is_empty());
+    }
+
+    #[test]
+    fn empty_workflow_flagged() {
+        let wf = Workflow::new("w", "q");
+        assert_eq!(check(&wf, &registry()), vec![TypeError::EmptyWorkflow]);
+    }
+
+    #[test]
+    fn unknown_function_flagged() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("a", "t.nope"));
+        let errs = check(&wf, &registry());
+        assert!(matches!(errs[0], TypeError::UnknownFunction { .. }));
+    }
+
+    #[test]
+    fn missing_required_param_flagged() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("b", "t.sink"));
+        let errs = check(&wf, &registry());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TypeError::MissingRequiredParam { param, .. } if param == "deps")));
+    }
+
+    #[test]
+    fn unknown_param_flagged() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "t.source").bind(
+                "bogus",
+                crate::Binding::constant(DataFormat::Scalar, serde_json::json!(1)),
+            ));
+        let errs = check(&wf, &registry());
+        assert!(errs.iter().any(|e| matches!(e, TypeError::UnknownParam { .. })));
+    }
+
+    #[test]
+    fn format_mismatch_flagged() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "t.source"))
+            .with_step(Step::new("b", "t.sink").bind(
+                "deps",
+                crate::Binding::constant(DataFormat::Scalar, serde_json::json!(3)),
+            ));
+        let errs = check(&wf, &registry());
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            TypeError::FormatMismatch { expected: DataFormat::DependencyTable, .. }
+        )));
+    }
+
+    #[test]
+    fn forward_and_dangling_refs_flagged() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("b", "t.sink").bind_step("deps", "a"))
+            .with_step(Step::new("a", "t.source"));
+        let errs = check(&wf, &registry());
+        assert!(errs.iter().any(|e| matches!(e, TypeError::ForwardStepRef { .. })));
+
+        let wf2 = Workflow::new("w", "q")
+            .with_step(Step::new("b", "t.sink").bind_step("deps", "ghost"));
+        let errs2 = check(&wf2, &registry());
+        assert!(errs2.iter().any(|e| matches!(e, TypeError::DanglingStepRef { .. })));
+    }
+
+    #[test]
+    fn duplicate_ids_and_unknown_outputs_flagged() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "t.source"))
+            .with_step(Step::new("a", "t.source"))
+            .with_output("zzz");
+        let errs = check(&wf, &registry());
+        assert!(errs.iter().any(|e| matches!(e, TypeError::DuplicateStepId { .. })));
+        assert!(errs.iter().any(|e| matches!(e, TypeError::UnknownOutput { .. })));
+    }
+}

@@ -1,0 +1,437 @@
+//! The workflow executor.
+//!
+//! Steps run in list order against a [`ToolRuntime`] (the binding from
+//! function ids to actual measurement-tool calls lives in the `toolkit`
+//! crate). Values cross step boundaries as [`TypedValue`]s — a declared
+//! [`DataFormat`] plus a JSON payload, mirroring how real measurement
+//! pipelines pass serialized artifacts between heterogeneous tools.
+//!
+//! Quality assurance is woven into execution, as SolutionWeaver embeds it
+//! in generated code: every step's output is verified against its declared
+//! format, empty results raise sanity findings, and failed steps poison
+//! (skip) their dependents instead of aborting the whole run.
+
+use std::collections::BTreeMap;
+
+use registry::{DataFormat, FunctionId, Registry};
+use serde::{Deserialize, Serialize};
+
+use crate::{Binding, StepId, Workflow};
+
+/// A value flowing between steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedValue {
+    pub format: DataFormat,
+    pub value: serde_json::Value,
+}
+
+impl TypedValue {
+    pub fn new(format: DataFormat, value: serde_json::Value) -> TypedValue {
+        TypedValue { format, value }
+    }
+
+    /// A text value.
+    pub fn text(s: &str) -> TypedValue {
+        TypedValue::new(DataFormat::Text, serde_json::Value::String(s.to_string()))
+    }
+
+    /// Whether the payload is structurally empty (empty array/object/null).
+    pub fn is_empty_payload(&self) -> bool {
+        match &self.value {
+            serde_json::Value::Null => true,
+            serde_json::Value::Array(a) => a.is_empty(),
+            serde_json::Value::Object(o) => o.is_empty(),
+            serde_json::Value::String(s) => s.is_empty(),
+            _ => false,
+        }
+    }
+}
+
+/// Errors a tool invocation can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolError {
+    /// The runtime has no binding for this function.
+    Unbound(FunctionId),
+    /// Argument missing or of the wrong shape.
+    BadArgument { function: FunctionId, message: String },
+    /// The tool itself failed.
+    Failed { function: FunctionId, message: String },
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Unbound(id) => write!(f, "no runtime binding for {id}"),
+            ToolError::BadArgument { function, message } => {
+                write!(f, "{function}: bad argument: {message}")
+            }
+            ToolError::Failed { function, message } => write!(f, "{function} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+/// The binding from registry functions to actual tool implementations.
+pub trait ToolRuntime {
+    /// Invokes `function` with named arguments.
+    fn invoke(
+        &self,
+        function: &FunctionId,
+        args: &BTreeMap<String, TypedValue>,
+    ) -> Result<TypedValue, ToolError>;
+}
+
+/// Outcome of one step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepResult {
+    Ok(TypedValue),
+    Failed(ToolError),
+    /// Skipped because a dependency failed.
+    Poisoned { failed_dependency: StepId },
+}
+
+impl StepResult {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, StepResult::Ok(_))
+    }
+
+    pub fn value(&self) -> Option<&TypedValue> {
+        match self {
+            StepResult::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Severity of a QA finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QaSeverity {
+    Info,
+    Warning,
+    Error,
+}
+
+/// One woven-in QA finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QaFinding {
+    pub step: StepId,
+    pub severity: QaSeverity,
+    pub message: String,
+}
+
+/// The full execution report.
+#[derive(Debug)]
+pub struct ExecutionReport {
+    /// Per-step results, in execution order.
+    pub results: BTreeMap<StepId, StepResult>,
+    /// Workflow outputs (only the steps that succeeded).
+    pub outputs: BTreeMap<StepId, TypedValue>,
+    /// QA findings accumulated during the run.
+    pub qa: Vec<QaFinding>,
+    /// Steps executed / failed / poisoned.
+    pub executed: usize,
+    pub failed: usize,
+    pub poisoned: usize,
+}
+
+impl ExecutionReport {
+    /// Whether every step succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.failed == 0 && self.poisoned == 0
+    }
+
+    /// The single output value, when the workflow declares exactly one.
+    pub fn sole_output(&self) -> Option<&TypedValue> {
+        if self.outputs.len() == 1 {
+            self.outputs.values().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Executes a workflow.
+///
+/// `query_args` supplies values for [`Binding::QueryArg`] bindings. The
+/// workflow should already have passed [`crate::check`]; execution is
+/// defensive regardless.
+pub fn execute(
+    workflow: &Workflow,
+    registry: &Registry,
+    runtime: &dyn ToolRuntime,
+    query_args: &BTreeMap<String, TypedValue>,
+) -> ExecutionReport {
+    let mut results: BTreeMap<StepId, StepResult> = BTreeMap::new();
+    let mut qa: Vec<QaFinding> = Vec::new();
+    let (mut executed, mut failed, mut poisoned) = (0usize, 0usize, 0usize);
+
+    'steps: for step in &workflow.steps {
+        // Resolve bindings.
+        let mut args: BTreeMap<String, TypedValue> = BTreeMap::new();
+        for (name, binding) in &step.inputs {
+            match binding {
+                Binding::Const { format, value } => {
+                    args.insert(name.clone(), TypedValue::new(*format, value.clone()));
+                }
+                Binding::QueryArg { name: arg, format } => match query_args.get(arg) {
+                    Some(v) => {
+                        args.insert(name.clone(), v.clone());
+                    }
+                    None => {
+                        qa.push(QaFinding {
+                            step: step.id.clone(),
+                            severity: QaSeverity::Error,
+                            message: format!("query argument {arg} ({format}) not supplied"),
+                        });
+                        results.insert(
+                            step.id.clone(),
+                            StepResult::Failed(ToolError::BadArgument {
+                                function: step.function.clone(),
+                                message: format!("missing query argument {arg}"),
+                            }),
+                        );
+                        failed += 1;
+                        continue 'steps;
+                    }
+                },
+                Binding::Step(target) => match results.get(target) {
+                    Some(StepResult::Ok(v)) => {
+                        args.insert(name.clone(), v.clone());
+                    }
+                    _ => {
+                        results.insert(
+                            step.id.clone(),
+                            StepResult::Poisoned { failed_dependency: target.clone() },
+                        );
+                        poisoned += 1;
+                        continue 'steps;
+                    }
+                },
+            }
+        }
+
+        // Invoke (composites expand to their sequence).
+        let invocation = invoke_entry(registry, runtime, &step.function, &args);
+        executed += 1;
+        match invocation {
+            Ok(value) => {
+                // Woven-in QA: declared format check + emptiness sanity.
+                if let Some(entry) = registry.get(&step.function) {
+                    if !value.format.compatible_with(entry.output) {
+                        qa.push(QaFinding {
+                            step: step.id.clone(),
+                            severity: QaSeverity::Error,
+                            message: format!(
+                                "output format {} incompatible with declared {}",
+                                value.format, entry.output
+                            ),
+                        });
+                    }
+                }
+                if value.is_empty_payload() {
+                    qa.push(QaFinding {
+                        step: step.id.clone(),
+                        severity: QaSeverity::Warning,
+                        message: "step produced an empty result".to_string(),
+                    });
+                }
+                results.insert(step.id.clone(), StepResult::Ok(value));
+            }
+            Err(e) => {
+                qa.push(QaFinding {
+                    step: step.id.clone(),
+                    severity: QaSeverity::Error,
+                    message: e.to_string(),
+                });
+                results.insert(step.id.clone(), StepResult::Failed(e));
+                failed += 1;
+            }
+        }
+    }
+
+    let outputs: BTreeMap<StepId, TypedValue> = workflow
+        .outputs
+        .iter()
+        .filter_map(|id| {
+            results.get(id).and_then(|r| r.value()).map(|v| (id.clone(), v.clone()))
+        })
+        .collect();
+
+    ExecutionReport { results, outputs, qa, executed, failed, poisoned }
+}
+
+/// Invokes a function, expanding curator-mined composites: the sequence
+/// runs in order, each function's output feeding the next one's first
+/// required parameter (remaining arguments pass through by name).
+fn invoke_entry(
+    registry: &Registry,
+    runtime: &dyn ToolRuntime,
+    function: &FunctionId,
+    args: &BTreeMap<String, TypedValue>,
+) -> Result<TypedValue, ToolError> {
+    let entry = registry.get(function);
+    match entry.map(|e| e.implementation.clone()) {
+        Some(registry::Implementation::Composite { sequence }) => {
+            let mut carried: Option<TypedValue> = None;
+            for fid in &sequence {
+                let mut call_args = args.clone();
+                if let (Some(prev), Some(sub)) = (&carried, registry.get(fid)) {
+                    if let Some(first_req) = sub.required_inputs().next() {
+                        call_args.insert(first_req.name.clone(), prev.clone());
+                    }
+                }
+                carried = Some(invoke_entry(registry, runtime, fid, &call_args)?);
+            }
+            carried.ok_or_else(|| ToolError::Failed {
+                function: function.clone(),
+                message: "composite with empty sequence".to_string(),
+            })
+        }
+        _ => runtime.invoke(function, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Step;
+    use registry::{CapabilityEntry, Implementation, Param, Registry};
+
+    /// A runtime binding two toy functions.
+    struct ToyRuntime;
+
+    impl ToolRuntime for ToyRuntime {
+        fn invoke(
+            &self,
+            function: &FunctionId,
+            args: &BTreeMap<String, TypedValue>,
+        ) -> Result<TypedValue, ToolError> {
+            match function.0.as_str() {
+                "toy.make" => Ok(TypedValue::new(
+                    DataFormat::Table,
+                    serde_json::json!([{"v": 1}, {"v": 2}]),
+                )),
+                "toy.count" => {
+                    let t = args.get("table").ok_or(ToolError::BadArgument {
+                        function: function.clone(),
+                        message: "missing table".into(),
+                    })?;
+                    let n = t.value.as_array().map(|a| a.len()).unwrap_or(0);
+                    Ok(TypedValue::new(DataFormat::Scalar, serde_json::json!(n)))
+                }
+                "toy.fail" => Err(ToolError::Failed {
+                    function: function.clone(),
+                    message: "intentional".into(),
+                }),
+                "toy.empty" => Ok(TypedValue::new(DataFormat::Table, serde_json::json!([]))),
+                _ => Err(ToolError::Unbound(function.clone())),
+            }
+        }
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CapabilityEntry::new("toy.make", "toy", "makes a table", vec![], DataFormat::Table))
+            .unwrap();
+        r.register(CapabilityEntry::new(
+            "toy.count",
+            "toy",
+            "counts rows",
+            vec![Param::required("table", DataFormat::Table)],
+            DataFormat::Scalar,
+        ))
+        .unwrap();
+        r.register(CapabilityEntry::new("toy.fail", "toy", "always fails", vec![], DataFormat::Table))
+            .unwrap();
+        r.register(CapabilityEntry::new("toy.empty", "toy", "empty table", vec![], DataFormat::Table))
+            .unwrap();
+        let mut comp = CapabilityEntry::new(
+            "macro.make_and_count",
+            "composite",
+            "makes then counts",
+            vec![],
+            DataFormat::Scalar,
+        );
+        comp.implementation = Implementation::Composite {
+            sequence: vec![FunctionId::from("toy.make"), FunctionId::from("toy.count")],
+        };
+        r.register(comp).unwrap();
+        r
+    }
+
+    #[test]
+    fn linear_workflow_executes() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "toy.make"))
+            .with_step(Step::new("b", "toy.count").bind_step("table", "a"))
+            .with_output("b");
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert!(report.all_ok());
+        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(2));
+    }
+
+    #[test]
+    fn failure_poisons_dependents() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "toy.fail"))
+            .with_step(Step::new("b", "toy.count").bind_step("table", "a"))
+            .with_output("b");
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.poisoned, 1);
+        assert!(report.outputs.is_empty());
+        assert!(matches!(
+            report.results.get(&StepId::from("b")),
+            Some(StepResult::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_query_arg_is_reported() {
+        let wf = Workflow::new("w", "q").with_step(
+            Step::new("a", "toy.count").bind_arg("table", "the_table", DataFormat::Table),
+        );
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert_eq!(report.failed, 1);
+        assert!(report
+            .qa
+            .iter()
+            .any(|f| f.severity == QaSeverity::Error && f.message.contains("the_table")));
+    }
+
+    #[test]
+    fn empty_output_raises_sanity_warning() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("a", "toy.empty"));
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert!(report
+            .qa
+            .iter()
+            .any(|f| f.severity == QaSeverity::Warning && f.message.contains("empty")));
+    }
+
+    #[test]
+    fn composite_expands_and_chains() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "macro.make_and_count"))
+            .with_output("a");
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert!(report.all_ok(), "qa: {:?}", report.qa);
+        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(2));
+    }
+
+    #[test]
+    fn query_args_flow_into_steps() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "toy.count").bind_arg("table", "t", DataFormat::Table))
+            .with_output("a");
+        let mut args = BTreeMap::new();
+        args.insert(
+            "t".to_string(),
+            TypedValue::new(DataFormat::Table, serde_json::json!([1, 2, 3])),
+        );
+        let report = execute(&wf, &registry(), &ToyRuntime, &args);
+        assert!(report.all_ok());
+        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(3));
+    }
+}

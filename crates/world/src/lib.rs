@@ -1,0 +1,205 @@
+//! # world — a deterministic synthetic Internet
+//!
+//! The ArachNet paper evaluates on real measurement data (submarine-cable
+//! maps, BGP dumps, RIPE-Atlas traceroutes). None of that is available
+//! offline, so this crate builds the closest synthetic equivalent: a seeded,
+//! fully deterministic model of the global Internet with
+//!
+//! * a **physical layer** — cities, cable landing stations, ~25 curated
+//!   submarine cable systems with real-world names and geography (SeaMeWe-5,
+//!   AAE-1, FALCON, …, exactly the systems the paper's queries mention),
+//!   plus generated regional festoon cables and terrestrial conduits;
+//! * a **network layer** — a tiered AS topology (tier-1 backbones, national
+//!   transit, access networks, content providers) with customer/provider and
+//!   peering relationships, announced prefixes, and IP-layer links whose
+//!   *physical path* is computed over the conduit graph (so each IP link
+//!   transparently depends on the cables it rides — the cross-layer ground
+//!   truth that Nautilus infers and Xaminer analyses);
+//! * a **measurement layer** — RIPE-Atlas-style probes with a Europe-heavy
+//!   deployment bias;
+//! * **scenarios** — timed event injections (cable cuts, earthquakes,
+//!   hurricanes, congestion shifts) from which the BGP and traceroute
+//!   simulators derive dumps and campaigns.
+//!
+//! Everything is reproducible from `WorldConfig::seed`; all containers
+//! iterate in a canonical order.
+
+pub mod ases;
+pub mod cables;
+pub mod cities;
+pub mod events;
+pub mod generator;
+pub mod links;
+pub mod physical;
+pub mod probes;
+pub mod scenario;
+
+pub use ases::{AsInfo, AsRelationship, AsTier, RelKind};
+pub use cables::{Cable, CableSegment};
+pub use cities::City;
+pub use events::{Event, EventId, EventKind};
+pub use generator::{generate, WorldConfig};
+pub use links::{Conduit, IpLink, LinkEnd, PrefixInfo};
+pub use physical::{PhysicalGraph, PhysicalPath};
+pub use probes::Probe;
+pub use scenario::Scenario;
+
+use std::collections::BTreeMap;
+
+use net_model::{Asn, CableId, CityId, Country, LinkId, PrefixId, ProbeId};
+
+/// The complete synthetic Internet. Indexed by the dense id types from
+/// `net-model`; every `Vec` position matches the id's `index()`.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Seed the world was generated from.
+    pub seed: u64,
+    /// All cities, indexed by [`CityId`].
+    pub cities: Vec<City>,
+    /// All submarine cables, indexed by [`CableId`].
+    pub cables: Vec<Cable>,
+    /// Terrestrial conduits between city pairs (undirected).
+    pub terrestrial: Vec<physical::TerrestrialEdge>,
+    /// All autonomous systems, in ascending ASN order.
+    pub ases: Vec<AsInfo>,
+    /// AS-level business relationships (undirected records, kind is directed).
+    pub relationships: Vec<AsRelationship>,
+    /// Announced prefixes, indexed by [`PrefixId`].
+    pub prefixes: Vec<PrefixInfo>,
+    /// IP-layer links, indexed by [`LinkId`].
+    pub links: Vec<IpLink>,
+    /// Measurement probes, indexed by [`ProbeId`].
+    pub probes: Vec<Probe>,
+
+    asn_index: BTreeMap<Asn, usize>,
+}
+
+impl World {
+    /// Internal constructor used by the generator; computes derived indices.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        seed: u64,
+        cities: Vec<City>,
+        cables: Vec<Cable>,
+        terrestrial: Vec<physical::TerrestrialEdge>,
+        ases: Vec<AsInfo>,
+        relationships: Vec<AsRelationship>,
+        prefixes: Vec<PrefixInfo>,
+        links: Vec<IpLink>,
+        probes: Vec<Probe>,
+    ) -> World {
+        let asn_index = ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        World {
+            seed,
+            cities,
+            cables,
+            terrestrial,
+            ases,
+            relationships,
+            prefixes,
+            links,
+            probes,
+            asn_index,
+        }
+    }
+
+    /// Looks up a city.
+    pub fn city(&self, id: CityId) -> &City {
+        &self.cities[id.index()]
+    }
+
+    /// Looks up a cable.
+    pub fn cable(&self, id: CableId) -> &Cable {
+        &self.cables[id.index()]
+    }
+
+    /// Looks up an IP link.
+    pub fn link(&self, id: LinkId) -> &IpLink {
+        &self.links[id.index()]
+    }
+
+    /// Looks up a prefix.
+    pub fn prefix(&self, id: PrefixId) -> &PrefixInfo {
+        &self.prefixes[id.index()]
+    }
+
+    /// Looks up a probe.
+    pub fn probe(&self, id: ProbeId) -> &Probe {
+        &self.probes[id.index()]
+    }
+
+    /// Looks up AS metadata by ASN.
+    pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.asn_index.get(&asn).map(|&i| &self.ases[i])
+    }
+
+    /// Finds a cable by (case-insensitive) name.
+    pub fn cable_by_name(&self, name: &str) -> Option<&Cable> {
+        let lower = name.to_ascii_lowercase();
+        self.cables.iter().find(|c| c.name.to_ascii_lowercase() == lower)
+    }
+
+    /// All IP links whose physical path rides the given cable.
+    ///
+    /// This is the cross-layer **ground truth** that the Nautilus substrate
+    /// tries to *infer* from geometry and latency.
+    pub fn links_on_cable(&self, cable: CableId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| l.path.cables().contains(&cable))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// ASNs registered in a country.
+    pub fn asns_in_country(&self, country: Country) -> Vec<Asn> {
+        self.ases.iter().filter(|a| a.country == country).map(|a| a.asn).collect()
+    }
+
+    /// The country a prefix geolocates to (origin-AS home country).
+    pub fn prefix_country(&self, id: PrefixId) -> Country {
+        let p = self.prefix(id);
+        self.as_info(p.origin).expect("prefix origin AS exists").country
+    }
+
+    /// All cities in a country, in id order.
+    pub fn cities_in_country(&self, country: Country) -> Vec<&City> {
+        self.cities.iter().filter(|c| c.country == country).collect()
+    }
+
+    /// Quick structural sanity check; used by tests and the generator.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.cities.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(format!("city {} stored at index {i}", c.id));
+            }
+        }
+        for (i, c) in self.cables.iter().enumerate() {
+            if c.id.index() != i {
+                return Err(format!("cable {} stored at index {i}", c.id));
+            }
+            if c.landings.len() < 2 {
+                return Err(format!("cable {} has fewer than two landings", c.name));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if l.id.index() != i {
+                return Err(format!("link {} stored at index {i}", l.id));
+            }
+            if self.as_info(l.a.asn).is_none() || self.as_info(l.b.asn).is_none() {
+                return Err(format!("link {} references unknown AS", l.id));
+            }
+        }
+        for r in &self.relationships {
+            if self.as_info(r.a).is_none() || self.as_info(r.b).is_none() {
+                return Err("relationship references unknown AS".to_string());
+            }
+        }
+        for p in &self.prefixes {
+            if self.as_info(p.origin).is_none() {
+                return Err(format!("prefix {} originated by unknown AS", p.net));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,130 @@
+//! IP-layer links and announced prefixes.
+//!
+//! An [`IpLink`] is a layer-3 adjacency between routers of two ASes at
+//! specific cities. Its `path` is the physical route it rides (computed by
+//! Dijkstra over the conduit graph), which determines both its propagation
+//! latency and — crucially for the resilience analyses — the set of
+//! submarine cables it depends on.
+
+use net_model::{Asn, CityId, Ipv4Addr, Ipv4Net, LinkId, PrefixId};
+use serde::{Deserialize, Serialize};
+
+use crate::physical::PhysicalPath;
+
+/// What the link physically rides. `Submarine` links ride at least one
+/// cable; `Terrestrial` links never leave land; `Metro` links connect
+/// routers within one city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Conduit {
+    Metro,
+    Terrestrial,
+    Submarine,
+}
+
+/// One endpoint of an IP link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkEnd {
+    pub asn: Asn,
+    pub city: CityId,
+    /// Interface address on the link's /30.
+    pub addr: Ipv4Addr,
+}
+
+/// An IP-layer link between two ASes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpLink {
+    pub id: LinkId,
+    pub a: LinkEnd,
+    pub b: LinkEnd,
+    /// One-way propagation latency, ms (router/serialization overhead
+    /// excluded; the traceroute simulator adds per-hop noise).
+    pub latency_ms: f64,
+    /// Provisioned capacity, Gbps.
+    pub capacity_gbps: f64,
+    /// Physical route the link rides.
+    pub path: PhysicalPath,
+    /// Conduit classification derived from `path`.
+    pub conduit: Conduit,
+}
+
+impl IpLink {
+    /// The two ASes the link connects, lower ASN first.
+    pub fn as_pair(&self) -> (Asn, Asn) {
+        if self.a.asn <= self.b.asn {
+            (self.a.asn, self.b.asn)
+        } else {
+            (self.b.asn, self.a.asn)
+        }
+    }
+
+    /// Whether the link connects the given pair (order-insensitive).
+    pub fn connects(&self, x: Asn, y: Asn) -> bool {
+        (self.a.asn == x && self.b.asn == y) || (self.a.asn == y && self.b.asn == x)
+    }
+}
+
+/// An announced prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixInfo {
+    pub id: PrefixId,
+    pub net: Ipv4Net,
+    /// Originating AS.
+    pub origin: Asn,
+}
+
+/// Classifies a physical path into a conduit kind.
+pub fn classify_conduit(path: &PhysicalPath) -> Conduit {
+    if path.hops.is_empty() {
+        Conduit::Metro
+    } else if path.cables().is_empty() {
+        Conduit::Terrestrial
+    } else {
+        Conduit::Submarine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PathHop;
+    use net_model::CableId;
+
+    fn end(asn: u32, city: u32, addr: u32) -> LinkEnd {
+        LinkEnd { asn: Asn(asn), city: CityId(city), addr: Ipv4Addr(addr) }
+    }
+
+    #[test]
+    fn as_pair_is_ordered() {
+        let l = IpLink {
+            id: LinkId(0),
+            a: end(20, 0, 1),
+            b: end(10, 1, 2),
+            latency_ms: 1.0,
+            capacity_gbps: 100.0,
+            path: PhysicalPath::default(),
+            conduit: Conduit::Metro,
+        };
+        assert_eq!(l.as_pair(), (Asn(10), Asn(20)));
+        assert!(l.connects(Asn(10), Asn(20)));
+        assert!(l.connects(Asn(20), Asn(10)));
+        assert!(!l.connects(Asn(10), Asn(30)));
+    }
+
+    #[test]
+    fn conduit_classification() {
+        let metro = PhysicalPath { cities: vec![CityId(0)], hops: vec![] };
+        assert_eq!(classify_conduit(&metro), Conduit::Metro);
+
+        let land = PhysicalPath {
+            cities: vec![CityId(0), CityId(1)],
+            hops: vec![PathHop::Terrestrial { length_km: 100.0 }],
+        };
+        assert_eq!(classify_conduit(&land), Conduit::Terrestrial);
+
+        let sea = PhysicalPath {
+            cities: vec![CityId(0), CityId(1)],
+            hops: vec![PathHop::Cable { cable: CableId(0), segment: 0, length_km: 5000.0 }],
+        };
+        assert_eq!(classify_conduit(&sea), Conduit::Submarine);
+    }
+}

@@ -1,0 +1,48 @@
+//! Measurement probes: RIPE-Atlas-style vantage points.
+//!
+//! Probes are hosted inside access ASes and mirror the real platform's
+//! Europe-heavy deployment bias — which is precisely why the paper's
+//! forensic case study observes the anomaly "from European probes".
+
+use net_model::{Asn, CityId, Country, Ipv4Addr, ProbeId, Region};
+use serde::{Deserialize, Serialize};
+
+/// A measurement vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Probe {
+    pub id: ProbeId,
+    /// Hosting (access) AS.
+    pub asn: Asn,
+    pub city: CityId,
+    pub country: Country,
+    pub region: Region,
+    /// Source address used in measurements.
+    pub addr: Ipv4Addr,
+}
+
+/// Probes per country by region — the deployment-density model.
+/// RIPE Atlas is strongly Europe-biased; these weights keep that shape.
+pub fn probes_per_country(region: Region) -> usize {
+    match region {
+        Region::Europe => 6,
+        Region::NorthAmerica => 4,
+        Region::Asia => 3,
+        Region::MiddleEast => 2,
+        Region::Oceania => 2,
+        Region::Africa => 1,
+        Region::SouthAmerica => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn europe_density_is_highest() {
+        let eu = probes_per_country(Region::Europe);
+        for r in Region::ALL {
+            assert!(probes_per_country(r) <= eu);
+        }
+    }
+}

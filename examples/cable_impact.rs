@@ -1,0 +1,47 @@
+//! Case study 1 — expert solution replication under the paper's
+//! controlled setup: Xaminer's high-level abstractions are withheld, so
+//! the agent must derive a direct processing pipeline from core Nautilus
+//! functions, then the output is compared with the expert's solution.
+//!
+//! ```text
+//! cargo run --release --example cable_impact
+//! ```
+
+use arachnet_repro::{run_case_study, CaseStudy};
+use baselines::metrics;
+use toolkit::data::CountryTableData;
+
+fn main() {
+    let run = run_case_study(CaseStudy::Cs1CableImpact);
+
+    println!("query: {}", run.case.query());
+    println!("\ngenerated workflow ({} LoC):", run.solution.loc);
+    for step in &run.solution.workflow.steps {
+        println!("  {} = {}", step.id, step.function);
+    }
+    println!("\nexpert workflow:");
+    for step in &run.expert_workflow.steps {
+        println!("  {} = {}", step.id, step.function);
+    }
+
+    let overlap = metrics::function_overlap(&run.solution.workflow, &run.expert_workflow);
+    println!("\nfunction overlap (architectural): {overlap:.2}");
+
+    let generated: CountryTableData = run.output_as().expect("country table");
+    let expert: CountryTableData = run.expert_output_as().expect("country table");
+    let similarity = metrics::country_table_similarity(&generated, &expert);
+    println!(
+        "output similarity: jaccard={:.2} spearman={} top5={:.2}",
+        similarity.jaccard,
+        similarity.spearman.map(|s| format!("{s:.2}")).unwrap_or_else(|| "n/a".into()),
+        similarity.top5_overlap
+    );
+
+    println!("\n{:<8} {:>8} {:>8} {:>8}   (generated)", "country", "score", "links", "ases");
+    for row in generated.rows.iter().take(10) {
+        println!(
+            "{:<8} {:>8.3} {:>8} {:>8}",
+            row.country, row.impact_score, row.links_affected, row.ases_affected
+        );
+    }
+}

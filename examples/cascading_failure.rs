@@ -1,0 +1,43 @@
+//! Case study 3 — multi-framework orchestration: cascading Europe–Asia
+//! cable failures analysed across four measurement frameworks, fused into
+//! one multi-layer timeline.
+//!
+//! ```text
+//! cargo run --release --example cascading_failure
+//! ```
+
+use arachnet_repro::{run_case_study, CaseStudy};
+use toolkit::data::TimelineData;
+
+fn main() {
+    let run = run_case_study(CaseStudy::Cs3CascadingFailure);
+
+    println!("query: {}", run.case.query());
+    let frameworks: Vec<&String> = run
+        .solution
+        .frameworks
+        .iter()
+        .filter(|f| ["nautilus", "xaminer", "bgp", "traceroute"].contains(&f.as_str()))
+        .collect();
+    println!(
+        "\nintegrated measurement frameworks ({}): {:?}",
+        frameworks.len(),
+        frameworks
+    );
+    println!("workflow: {} steps, {} LoC", run.solution.workflow.steps.len(), run.solution.loc);
+
+    let timeline: TimelineData = run.output_as().expect("unified timeline");
+    println!(
+        "\nunified cascade timeline ({} events, layers {:?}):",
+        timeline.events.len(),
+        timeline.layers
+    );
+    for e in &timeline.events {
+        println!("  t={:>8}s  [{:^8}] {}", e.t, e.layer, e.description);
+    }
+
+    println!("\nexecution QA findings: {}", run.report.qa.len());
+    for finding in run.report.qa.iter().take(5) {
+        println!("  [{}] {:?}: {}", finding.step, finding.severity, finding.message);
+    }
+}

@@ -1,0 +1,54 @@
+//! Case study 2 — multi-disaster what-if analysis, demonstrating
+//! architectural restraint: the agent is offered every framework but must
+//! recognize that Xaminer's single event-processing capability covers the
+//! whole problem.
+//!
+//! ```text
+//! cargo run --release --example disaster_impact
+//! ```
+
+use arachnet_repro::{run_case_study, CaseStudy};
+use toolkit::data::CountryTableData;
+
+fn main() {
+    let run = run_case_study(CaseStudy::Cs2DisasterImpact);
+
+    println!("query: {}", run.case.query());
+    println!(
+        "\nexploration: {} alternatives considered",
+        run.solution.architecture.alternatives_considered
+    );
+    println!("chosen architecture:");
+    for step in &run.solution.workflow.steps {
+        println!("  {} = {}  ({})", step.id, step.function, step.rationale);
+    }
+
+    let analysis: Vec<&str> = run
+        .solution
+        .workflow
+        .steps
+        .iter()
+        .map(|s| s.function.0.as_str())
+        .filter(|f| {
+            ["nautilus.", "xaminer.", "bgp.", "traceroute."]
+                .iter()
+                .any(|p| f.starts_with(p))
+        })
+        .collect();
+    let mut distinct = analysis.clone();
+    distinct.sort();
+    distinct.dedup();
+    println!(
+        "\nrestraint check: {} analysis invocation(s) of {} distinct capability(ies): {:?}",
+        analysis.len(),
+        distinct.len(),
+        distinct
+    );
+
+    let table: CountryTableData = run.output_as().expect("combined impact table");
+    println!("\nglobal impact (earthquakes + hurricanes at 10%):");
+    println!("{:<8} {:>8} {:>8}", "country", "score", "links");
+    for row in table.rows.iter().take(12) {
+        println!("{:<8} {:>8.3} {:>8}", row.country, row.impact_score, row.links_affected);
+    }
+}

@@ -1,0 +1,59 @@
+//! Case study 4 — automated root-cause investigation: was the latency
+//! anomaly caused by a cable failure, and if so, which cable?
+//!
+//! Runs the positive scenario (a real cable cut three days before "now")
+//! and the negative control (congestion with no infrastructure failure)
+//! to show the workflow both identifies the culprit and declines to blame
+//! a cable when none failed.
+//!
+//! ```text
+//! cargo run --release --example forensic_investigation
+//! ```
+
+use arachnet::{ArachNet, DeterministicExpertModel};
+use arachnet_repro::{run_case_study, CaseStudy};
+use toolkit::data::VerdictData;
+use toolkit::{catalog, scenarios, StandardRuntime};
+
+fn main() {
+    // Positive case: SeaMeWe-4 fails three days before the query.
+    let run = run_case_study(CaseStudy::Cs4ForensicRca);
+    println!("query: {}", run.case.query());
+    let verdict: VerdictData = run.output_as().expect("forensic verdict");
+    println!("\n--- scenario with a real cable cut ---");
+    println!("cable_caused: {}", verdict.cable_caused);
+    println!("identified:   {:?}", verdict.cable);
+    println!("confidence:   {:.2}", verdict.confidence);
+    println!("narrative:    {}", verdict.narrative);
+    println!(
+        "ground truth: {} (identified {})",
+        scenarios::CS4_CULPRIT,
+        if verdict.cable.as_deref() == Some(scenarios::CS4_CULPRIT) {
+            "CORRECTLY"
+        } else {
+            "INCORRECTLY"
+        }
+    );
+
+    // Negative control: the same query against a congestion-only scenario.
+    let scenario = scenarios::cs4_negative_scenario();
+    let registry = catalog::standard_registry();
+    let context = catalog::query_context(&scenario.world, scenario.now, 14);
+    let model = DeterministicExpertModel::new();
+    let system = ArachNet::new(&model, registry.clone());
+    let solution = system
+        .generate(CaseStudy::Cs4ForensicRca.query(), &context)
+        .expect("generation succeeds");
+    let runtime = StandardRuntime::new(scenario);
+    let report =
+        workflow::execute(&solution.workflow, &registry, &runtime, &solution.query_args());
+    let negative: VerdictData = report
+        .outputs
+        .values()
+        .next()
+        .and_then(|v| serde_json::from_value(v.value.clone()).ok())
+        .expect("verdict output");
+    println!("\n--- negative control (congestion, no cut) ---");
+    println!("cable_caused: {}", negative.cable_caused);
+    println!("narrative:    {}", negative.narrative);
+}

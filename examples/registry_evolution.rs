@@ -1,0 +1,48 @@
+//! RegistryCurator in action: run workflows, mine the successful ones for
+//! reusable patterns, validate, grow the registry, and regenerate — the
+//! paper's "systematic registry evolution".
+//!
+//! ```text
+//! cargo run --release --example registry_evolution
+//! ```
+
+use arachnet::{ArachNet, DeterministicExpertModel};
+use arachnet_repro::CaseStudy;
+use toolkit::{catalog, scenarios};
+
+fn main() {
+    let scenario = scenarios::cs2_scenario();
+    let context = catalog::query_context(&scenario.world, scenario.now, 10);
+    let model = DeterministicExpertModel::new();
+    let mut system = ArachNet::new(&model, catalog::standard_registry());
+
+    let query = CaseStudy::Cs2DisasterImpact.query();
+    let before = system.generate(query, &context).expect("generation succeeds");
+    println!("before curation: {} steps, registry has {} entries",
+        before.workflow.steps.len(),
+        system.registry().len());
+
+    // Simulate a history of successful runs.
+    let corpus = vec![before.summary(true), before.summary(true), before.summary(true)];
+    let outcome = system.curate(&corpus, 2).expect("curation succeeds");
+    println!("\ncurator proposals:");
+    for added in &outcome.added {
+        let entry = system.registry().get(added).expect("registered");
+        println!("  + {added}: {}", entry.capability);
+    }
+    for (pattern, why) in outcome.rejected.iter().take(5) {
+        println!("  - rejected {pattern}: {why}");
+    }
+
+    let after = system.generate(query, &context).expect("generation succeeds");
+    println!(
+        "\nafter curation: {} steps (was {}), registry has {} entries",
+        after.workflow.steps.len(),
+        before.workflow.steps.len(),
+        system.registry().len()
+    );
+    println!("\nnew workflow:");
+    for step in &after.workflow.steps {
+        println!("  {} = {}", step.id, step.function);
+    }
+}

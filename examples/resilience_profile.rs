@@ -1,0 +1,69 @@
+//! A fifth query family beyond the paper's case studies: country
+//! resilience profiling ("How resilient is Singapore to cable
+//! failures?"). Exercises the RiskAssessment intent end to end —
+//! generation, execution, and the per-country concentration metrics.
+//!
+//! ```text
+//! cargo run --release --example resilience_profile
+//! ```
+
+use arachnet::{ArachNet, DeterministicExpertModel};
+use toolkit::{catalog, scenarios, StandardRuntime};
+
+fn main() {
+    let scenario = scenarios::cs1_scenario();
+    let registry = catalog::standard_registry();
+    let context = catalog::query_context(&scenario.world, scenario.now, 10);
+    let model = DeterministicExpertModel::new();
+    let system = ArachNet::new(&model, registry.clone());
+
+    let query = "How resilient is Singapore to submarine cable failures?";
+    let solution = system.generate(query, &context).expect("generation succeeds");
+    println!("query: {query}");
+    println!("intent: {:?}", solution.decomposition.intent);
+    println!("workflow:");
+    for step in &solution.workflow.steps {
+        println!("  {} = {}", step.id, step.function);
+    }
+
+    let runtime = StandardRuntime::new(scenario);
+    let report =
+        workflow::execute(&solution.workflow, &registry, &runtime, &solution.query_args());
+    assert!(report.all_ok(), "qa: {:?}", report.qa);
+
+    let profiles: Vec<xaminer_sim::CountryRiskProfile> = report
+        .outputs
+        .values()
+        .next()
+        .and_then(|v| serde_json::from_value(v.value.clone()).ok())
+        .expect("risk profiles output");
+
+    println!("\nmost cable-dependent economies (by concentration):");
+    println!("{:<24} {:>7} {:>8}   most critical system", "country", "links", "HHI");
+    for p in profiles.iter().take(10) {
+        let critical = p
+            .most_critical
+            .map(|c| scenario_name(&runtime, c))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<24} {:>7} {:>8.3}   {}",
+            p.country.name(),
+            p.submarine_links,
+            p.concentration_hhi,
+            critical
+        );
+    }
+
+    if let Some(sg) = profiles.iter().find(|p| p.country.code() == "SG") {
+        println!(
+            "\nSingapore: {} submarine links across {} systems, concentration HHI {:.3}",
+            sg.submarine_links,
+            sg.cable_shares.len(),
+            sg.concentration_hhi
+        );
+    }
+}
+
+fn scenario_name(runtime: &StandardRuntime, cable: net_model::CableId) -> String {
+    runtime.scenario().world.cable(cable).name.clone()
+}

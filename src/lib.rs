@@ -1,0 +1,11 @@
+//! # arachnet-repro — the assembled reproduction
+//!
+//! Ties every crate together: given one of the paper's four case-study
+//! queries, this crate generates the workflow with ArachNet, executes it
+//! against the measurement substrates, runs the corresponding expert
+//! baseline, and compares the two — the full evaluation loop of the
+//! paper's §4.
+
+pub mod case_studies;
+
+pub use case_studies::{run_case_study, CaseStudy, CaseStudyRun};
