@@ -101,7 +101,7 @@ impl AsGraph {
 
     /// Whether an adjacency exists.
     pub fn adjacent(&self, a: Asn, b: Asn) -> bool {
-        self.adj.get(&a).map_or(false, |m| m.contains_key(&b))
+        self.adj.get(&a).is_some_and(|m| m.contains_key(&b))
     }
 }
 

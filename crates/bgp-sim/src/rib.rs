@@ -54,7 +54,7 @@ impl RibSnapshot {
                 }
             }
         }
-        entries.sort_by(|a, b| (a.peer, a.prefix).cmp(&(b.peer, b.prefix)));
+        entries.sort_by_key(|a| (a.peer, a.prefix));
         RibSnapshot { at: t, entries }
     }
 
@@ -125,7 +125,7 @@ mod tests {
         let changed = after
             .entries
             .iter()
-            .filter(|e| bi.get(&(e.peer, e.prefix)).map_or(true, |b| b.as_path != e.as_path))
+            .filter(|e| bi.get(&(e.peer, e.prefix)).is_none_or(|b| b.as_path != e.as_path))
             .count();
         assert!(changed > 0, "a major cable cut must move some best paths");
     }

@@ -62,7 +62,7 @@ pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
         prev = next;
     }
 
-    updates.sort_by(|a, b| (a.time, a.peer, a.prefix).cmp(&(b.time, b.peer, b.prefix)));
+    updates.sort_by_key(|a| (a.time, a.peer, a.prefix));
     updates
 }
 
@@ -78,7 +78,7 @@ fn diff_into(
     let ai = after.index();
 
     // Withdrawals: in before, not in after.
-    for ((peer, prefix), _) in &bi {
+    for (peer, prefix) in bi.keys() {
         if !ai.contains_key(&(*peer, *prefix)) {
             let t = jittered(seed, event_time, *peer, prefix, 0);
             out.push(BgpUpdate { time: t, peer: *peer, prefix: *prefix, kind: UpdateKind::Withdraw });

@@ -4,7 +4,7 @@
 //!
 //! Variants differ through the planner's deterministic score jitter, so
 //! the ensemble explores genuinely different (but always valid)
-//! architectures. Generation runs in parallel with crossbeam scoped
+//! architectures. Generation runs in parallel with std scoped
 //! threads.
 
 use std::collections::BTreeMap;
@@ -61,14 +61,13 @@ pub fn generate_ensemble(
     // Parallel generation: each variant is independent and deterministic.
     let mut results: Vec<Option<Result<GeneratedSolution, PipelineError>>> =
         (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, slot) in results.iter_mut().enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(system.generate_variant(query, context, i as u64));
             });
         }
-    })
-    .expect("ensemble threads do not panic");
+    });
 
     let mut solutions = Vec::with_capacity(n);
     for r in results {

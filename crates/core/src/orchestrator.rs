@@ -12,18 +12,23 @@ use crate::agents::{
     AgentConfig, AgentError, QueryMind, RegistryCurator, SolutionWeaver, WorkflowScout,
 };
 
+/// An optional expert hook rewriting one intermediate artifact.
+pub type AdjustHook<T> = Option<Box<dyn Fn(T) -> T + Send + Sync>>;
+
+/// An optional expert hook reviewing the final workflow.
+pub type ReviewHook = Option<Box<dyn Fn(&Workflow) -> Vec<String> + Send + Sync>>;
+
 /// Expert-mode hooks: specialists can review and adjust outputs between
 /// agents before the pipeline proceeds (§3, "expert mode").
 #[derive(Default)]
 pub struct ExpertHooks {
     /// Adjust scope/constraints after QueryMind.
-    pub adjust_decomposition: Option<Box<dyn Fn(Decomposition) -> Decomposition + Send + Sync>>,
+    pub adjust_decomposition: AdjustHook<Decomposition>,
     /// Steer the architecture after WorkflowScout.
-    pub adjust_architecture:
-        Option<Box<dyn Fn(ArchitecturePlan) -> ArchitecturePlan + Send + Sync>>,
+    pub adjust_architecture: AdjustHook<ArchitecturePlan>,
     /// Review the final workflow; returned notes are attached to the
     /// solution.
-    pub review_workflow: Option<Box<dyn Fn(&Workflow) -> Vec<String> + Send + Sync>>,
+    pub review_workflow: ReviewHook,
 }
 
 /// Pipeline failures.

@@ -321,7 +321,7 @@ fn chain_via(
                 depth - 1,
                 in_progress,
             ) {
-                if best.as_ref().map_or(true, |b| c.score < b.score) {
+                if best.as_ref().is_none_or(|b| c.score < b.score) {
                     best = Some(c);
                 }
             }

@@ -231,7 +231,7 @@ fn best_route_via_cable(
             if along < MIN_ALONG_FRACTION * total {
                 continue;
             }
-            if best.map_or(true, |b| total < b) {
+            if best.is_none_or(|b| total < b) {
                 best = Some(total);
             }
         }

@@ -131,7 +131,7 @@ country_table! {
     b"LK", "Sri Lanka", Asia, 6.93, 79.85, true;
     b"MM", "Myanmar", Asia, 16.87, 96.20, true;
     b"MV", "Maldives", Asia, 4.18, 73.51, true;
-    b"MY", "Malaysia", Asia, 3.14, 101.69, true;
+    b"MY", "Malaysia", Asia, 3.139, 101.69, true;
     b"NG", "Nigeria", Africa, 6.45, 3.40, true;
     b"NL", "Netherlands", Europe, 52.37, 4.90, true;
     b"OM", "Oman", MiddleEast, 23.61, 58.59, true;

@@ -94,7 +94,9 @@ impl Ipv4Net {
         self.network
     }
 
-    /// The prefix length.
+    /// The prefix length. (Not a container length — a /0 prefix covers
+    /// the whole address space, so there is no meaningful `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct City {
     pub id: CityId,
-    pub name: &'static str,
+    pub name: String,
     pub country: Country,
     pub region: Region,
     pub location: GeoPoint,
@@ -33,7 +33,7 @@ macro_rules! city_table {
                 .enumerate()
                 .map(|(i, (name, cc, region, lat, lon, coastal, hub))| City {
                     id: CityId(i as u32),
-                    name,
+                    name: name.to_string(),
                     country: Country(*cc),
                     region,
                     location: GeoPoint::of(lat, lon),
@@ -78,7 +78,7 @@ city_table! {
     "Dhaka", b"BD", Asia, 23.81, 90.41, true, false;
     "Yangon", b"MM", Asia, 16.87, 96.20, true, false;
     "Bangkok", b"TH", Asia, 13.76, 100.50, true, false;
-    "Kuala Lumpur", b"MY", Asia, 3.14, 101.69, true, false;
+    "Kuala Lumpur", b"MY", Asia, 3.139, 101.69, true, false;
     "Singapore", b"SG", Asia, 1.35, 103.82, true, true;
     "Jakarta", b"ID", Asia, -6.21, 106.85, true, false;
     "Ho Chi Minh City", b"VN", Asia, 10.82, 106.63, true, false;

@@ -76,7 +76,7 @@ pub struct Event {
 impl Event {
     /// Whether the event is in effect at time `t`.
     pub fn active_at(&self, t: SimTime) -> bool {
-        t >= self.at && self.until.map_or(true, |end| t < end)
+        t >= self.at && self.until.is_none_or(|end| t < end)
     }
 }
 

@@ -485,7 +485,7 @@ fn build_links(
             let conduit = classify_conduit(&path);
             let id = LinkId(links.len() as u32);
             // /30 per link out of 172.16.0.0/12.
-            let base = (172u32 << 24) | (16u32 << 16) << 0 | 0;
+            let base = (172u32 << 24) | (16u32 << 16);
             let net_base = base + id.0 * 4;
             let latency_ms = if path.hops.is_empty() {
                 0.5 // metro

@@ -1,0 +1,165 @@
+//! Vendored offline stand-in for `criterion`: same macro/builder surface,
+//! but a simple wall-clock runner — a short warm-up, then `sample_size`
+//! timed samples, reporting min/mean per iteration. No statistics
+//! machinery, no HTML reports; bench binaries stay `harness = false`
+//! compatible and runnable via `cargo bench`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration over the best sample, for reporting.
+    result_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: aim for ~2ms per
+        // sample; bodies slower than that run once per sample, and the
+        // best-of-samples minimum below absorbs the extra timer noise.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = ((Duration::from_millis(2).as_nanos() / once.as_nanos()).max(1) as usize).min(10_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        self.result_ns = best;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<S: Display, P: Display>(name: S, p: P) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, result_ns: f64::NAN };
+        f(&mut b);
+        println!("{}/{}: {} per iter (best of {})", self.name, id, human(b.result_ns), self.sample_size);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, result_ns: f64::NAN };
+        f(&mut b, input);
+        println!("{}/{}: {} per iter (best of {})", self.name, id, human(b.result_ns), self.sample_size);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench context.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name).bench_function("bench", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,403 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the slice of serde's API this workspace uses, on top of
+//! a single JSON-like [`Value`] model: `Serialize` converts to a `Value`,
+//! `Deserialize` reads back out of one. The `Serialize` / `Deserialize`
+//! derive macros (re-exported from `serde_stub_derive`) target exactly
+//! these traits, and the vendored `serde_json` crate layers text
+//! parsing/printing plus `json!` on top.
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Error raised by deserialization (and, for API compatibility, returned
+/// by fallible serialization entry points that cannot actually fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] model.
+pub trait Serialize {
+    fn serialize_json(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] model.
+pub trait Deserialize: Sized {
+    fn deserialize_json(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` — only the name this workspace imports.
+pub mod de {
+    /// Every `Deserialize` type here is owned, so the marker is a plain
+    /// blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self) -> Value {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self) -> Value {
+        (**self).serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        T::deserialize_json(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected boolean")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Value {
+                Value::Number(Number::from_i128(*self as i128))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_integer()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t)))),
+                    _ => Err(Error::msg(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    _ => Err(Error::msg(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for char {
+    fn serialize_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::msg("expected null")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self) -> Value {
+        self.as_slice().serialize_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize_json).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self) -> Value {
+        self.as_slice().serialize_json()
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) if a.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(a.iter()) {
+                    *slot = T::deserialize_json(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(Error::msg("expected fixed-length array")),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize_json).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn serialize_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_json).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize_json).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+/// Converts a serialized map key to the JSON object-key string, mirroring
+/// serde_json (string keys pass through, integer-ish keys stringify).
+pub fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        Value::Number(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err(Error::msg("map key does not serialize to a string or number")),
+    }
+}
+
+/// Recovers a typed map key from the JSON object-key string: try the
+/// string form first, then a numeric reinterpretation.
+pub fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize_json(&Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_json(&Value::Number(Number::I(i))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_json(&Value::Number(Number::U(u))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::deserialize_json(&Value::Number(Number::F(f))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::deserialize_json(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::msg(format!("cannot reconstruct map key from {s:?}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        for (k, v) in self {
+            let key = key_to_string(&k.serialize_json())
+                .expect("map key serializes to a string or number");
+            m.insert(key, v.serialize_json());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_json(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object")),
+        }
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        for (k, v) in self {
+            let key = key_to_string(&k.serialize_json())
+                .expect("map key serializes to a string or number");
+            m.insert(key, v.serialize_json());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_json(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(a) if a.len() == [$($n),+].len() => {
+                        Ok(($($t::deserialize_json(&a[$n])?,)+))
+                    }
+                    _ => Err(Error::msg("expected tuple array")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,85 @@
+//! Vendored offline stand-in for `serde_json`, layered on the vendored
+//! `serde` crate's [`Value`] model.
+
+pub use serde::value::{parse_json, Number, Value};
+pub use serde::Error;
+
+/// `serde_json::json!` — re-exported from the proc-macro crate. The
+/// expansion references `::serde`, which every consumer of this stub
+/// already depends on.
+pub use serde_stub_derive::json;
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_json())
+}
+
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::deserialize_json(&value)
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_json().to_json_string())
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_json().to_json_string_pretty())
+}
+
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    T::deserialize_json(&parse_json(s)?)
+}
+
+/// Mirror of `serde_json::Map` (sorted here; order is not relied upon).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "-12", "3.5", "\"hi\\nthere\"", "[1,2,3]", "{\"a\":[{}]}"] {
+            let v: Value = from_str(text).unwrap();
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let x = 41;
+        let v = json!({ "a": x + 1, "b": [1, "two", null], "c": { "nested": true } });
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(42));
+        assert_eq!(v.get("b").and_then(Value::as_array).map(Vec::len), Some(3));
+        assert_eq!(v.get("c").and_then(|c| c.get("nested")).and_then(Value::as_bool), Some(true));
+        assert_eq!(json!("s"), Value::String("s".into()));
+        assert!(json!({}).as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v: Value = from_str("\"\\ud83d\\ude00!\"").unwrap();
+        assert_eq!(v, Value::String("\u{1f600}!".into()));
+        assert!(from_str::<Value>("\"\\ud83d\"").is_err(), "lone high surrogate rejected");
+        assert!(from_str::<Value>("\"\\ude00\"").is_err(), "lone low surrogate rejected");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let s = to_string(&vec![1.0, f64::NEG_INFINITY]).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), json!([1.0, null]));
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = json!({ "k": [1, 2], "s": "x" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+}

@@ -1,0 +1,554 @@
+//! Minimal, dependency-free stand-ins for `serde_derive`'s `Serialize` /
+//! `Deserialize` derives plus `serde_json`'s `json!` macro.
+//!
+//! The container has no network access to crates.io, so the real serde
+//! stack cannot be fetched; this crate hand-parses the item token stream
+//! (no `syn`/`quote`) and emits impls of the stub traits defined in the
+//! vendored `serde` crate. Supported shapes are exactly what this
+//! workspace uses: non-generic structs with named fields, tuple structs,
+//! unit structs, and non-generic enums with unit / tuple / struct
+//! variants. The only recognised field attribute is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+/// True when an attribute token group (the `[...]` contents) is
+/// `serde(default)`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) if i.to_string() == "serde" => {
+            inner.stream().into_iter().any(|t| matches!(t, TokenTree::Ident(ref d) if d.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips attributes at `i`, returning whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        default |= is_serde_default(g);
+                        *i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// True when the token at `idx` is the `>` of a `->` arrow (the `-` is
+/// emitted as a joint punct immediately before it).
+fn is_arrow_gt(tokens: &[TokenTree], idx: usize) -> bool {
+    idx > 0
+        && matches!(&tokens[idx - 1], TokenTree::Punct(p)
+            if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint)
+}
+
+/// Advances past type tokens up to (not including) a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !is_arrow_gt(tokens, *i) => {
+                angle -= 1;
+                assert!(angle >= 0, "serde stub derive: unbalanced `>` in field type");
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `{ field: Ty, ... }` contents into named fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // expect ':'
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde stub derive: expected `:` after field `{name}`"),
+        }
+        skip_type(&tokens, &mut i);
+        // now at ',' or end
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name: name.trim_start_matches("r#").to_string(), default });
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant arity from `( ... )` contents.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !is_arrow_gt(&tokens, idx) => {
+                angle -= 1;
+                assert!(angle >= 0, "serde stub derive: unbalanced `>` in tuple field type");
+            }
+            // a trailing comma does not start another element
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < tokens.len() => {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g)));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, tuple_arity(g)));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // skip an optional discriminant and the separating comma
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, tuple_arity(g))
+            }
+            _ => Item::UnitStruct(name),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g))
+            }
+            other => panic!("serde stub derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let mut __m = ::std::collections::BTreeMap::new();\n",
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_json(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct(name, 1) => {
+            impl_serialize(name, "::serde::Serialize::serialize_json(&self.0)")
+        }
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_json(&self.{k})"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Value::Array(vec![{}])", elems.join(", ")))
+        }
+        Item::UnitStruct(name) => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_json(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_json({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __fm = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_json({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__fm));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Deserialization of one named field from `__obj` (a `&BTreeMap`).
+fn field_expr(container: &str, f: &Field) -> String {
+    if f.default {
+        format!(
+            "{0}: match __obj.get(\"{0}\") {{\n\
+             Some(__v) => ::serde::Deserialize::deserialize_json(__v)?,\n\
+             None => ::std::default::Default::default(),\n}},\n",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: match __obj.get(\"{0}\") {{\n\
+             Some(__v) => ::serde::Deserialize::deserialize_json(__v)?,\n\
+             None => ::serde::Deserialize::deserialize_json(&::serde::Value::Null).map_err(|_| ::serde::Error::msg(\"missing field `{0}` in {1}\"))?,\n}},\n",
+            f.name, container
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct(name, fields) => {
+            let mut body = format!(
+                "let __obj = match __v {{\n\
+                 ::serde::Value::Object(__m) => __m,\n\
+                 _ => return Err(::serde::Error::msg(\"expected object for {name}\")),\n}};\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&field_expr(name, f));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct(name, 1) => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::deserialize_json(__v)?))"),
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_json(&__a[{k}])?"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let __a = match __v {{\n\
+                     ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                     _ => return Err(::serde::Error::msg(\"expected {n}-element array for {name}\")),\n}};\n\
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct(name) => impl_deserialize(name, &format!("Ok({name})")),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::deserialize_json(__val)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deserialize_json(&__a[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __a = match __val {{\n\
+                                 ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n\
+                                 _ => return Err(::serde::Error::msg(\"expected {n}-element array for {name}::{vn}\")),\n}};\n\
+                                 {name}::{vn}({elems}) }}",
+                                elems = elems.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let mut build = format!(
+                            "{{ let __obj = match __val {{\n\
+                             ::serde::Value::Object(__m) => __m,\n\
+                             _ => return Err(::serde::Error::msg(\"expected object for {name}::{vn}\")),\n}};\n\
+                             {name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            build.push_str(&field_expr(&format!("{name}::{vn}"), f));
+                        }
+                        build.push_str("} }");
+                        data_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => {{\n\
+                 match __s.as_str() {{\n{unit_arms} _ => {{}} }}\n\
+                 Err(::serde::Error::msg(\"unknown variant for {name}\"))\n}}\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __val) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{data_arms} _ => {{}} }}\n\
+                 Err(::serde::Error::msg(\"unknown variant for {name}\"))\n}}\n\
+                 _ => Err(::serde::Error::msg(\"expected string or 1-key object for {name}\")),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         #[allow(unused_variables)]\nlet __v = __v;\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde stub derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde stub derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Splits token trees on top-level commas.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                out.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|v| !v.is_empty());
+    out
+}
+
+/// Builds a Rust expression (as source text) evaluating to `::serde::Value`.
+fn json_value_expr(tokens: &[TokenTree]) -> String {
+    if tokens.len() == 1 {
+        match &tokens[0] {
+            TokenTree::Ident(id) if id.to_string() == "null" => {
+                return "::serde::Value::Null".to_string();
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let entries: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut body = String::from(
+                    "{ let mut __m = ::std::collections::BTreeMap::new();\n",
+                );
+                for entry in split_commas(&entries) {
+                    // split on the first lone ':' (skipping '::' pairs)
+                    let mut split_at = None;
+                    let mut k = 0;
+                    while k < entry.len() {
+                        if let TokenTree::Punct(p) = &entry[k] {
+                            if p.as_char() == ':' {
+                                if matches!(entry.get(k + 1), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+                                {
+                                    k += 2;
+                                    continue;
+                                }
+                                split_at = Some(k);
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let split_at = match split_at {
+                        Some(s) => s,
+                        None => panic!("json!: object entry without `:`"),
+                    };
+                    let key_src: String =
+                        entry[..split_at].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+                    let val = json_value_expr(&entry[split_at + 1..]);
+                    body.push_str(&format!(
+                        "__m.insert(::std::string::String::from({key_src}), {val});\n"
+                    ));
+                }
+                body.push_str("::serde::Value::Object(__m) }");
+                return body;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                let elems: Vec<TokenTree> = g.stream().into_iter().collect();
+                let parts: Vec<String> =
+                    split_commas(&elems).iter().map(|e| json_value_expr(e)).collect();
+                return format!("::serde::Value::Array(vec![{}])", parts.join(", "));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                return json_value_expr(&inner);
+            }
+            _ => {}
+        }
+    }
+    if tokens.is_empty() {
+        return "::serde::Value::Null".to_string();
+    }
+    let src: String = tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+    format!("::serde::Serialize::serialize_json(&({src}))")
+}
+
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    if tokens.is_empty() {
+        return "::serde::Value::Object(::std::collections::BTreeMap::new())"
+            .parse()
+            .unwrap();
+    }
+    json_value_expr(&tokens).parse().expect("json!: generated expression parses")
+}
