@@ -1,0 +1,145 @@
+//! Bench trajectory: plain wall-clock medians for the substrate hot paths,
+//! written as `BENCH_pr2.json` at the repo root (and uploaded as a CI
+//! artifact).
+//!
+//! ```text
+//! cargo run --release -p benchkit --bin bench_report            # repo root
+//! cargo run --release -p benchkit --bin bench_report -- out.json
+//! ```
+//!
+//! Unlike the criterion benches (statistical, interactive), this is the
+//! cheap comparable record each PR leaves behind: one JSON file with a
+//! median per hot path. The routing row also times the retained seed
+//! algorithm (`bgp_sim::routing::reference`) on the same graph, so the
+//! dense engine's speedup is measured in-tree rather than against a
+//! remembered number. See README § "Bench trajectory" for how to read and
+//! extend these files.
+
+use std::time::Instant;
+
+use serde_json::{json, Value};
+use world::{generate, Scenario, WorldConfig};
+
+/// Median wall-clock milliseconds over `iters` runs of `f` (plus one
+/// untimed warmup).
+fn median_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench(id: &str, median: f64) -> Value {
+    json!({ "id": id, "median_ms": median })
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| {
+        // The binary lives in crates/bench; the trajectory file lives at
+        // the repo root.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json").to_string()
+    });
+
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let world = &scenario.world;
+    let mut benchmarks: Vec<Value> = Vec::new();
+
+    // --- BGP full routing table: dense engine vs retained seed engine ---
+    let graph = bgp_sim::AsGraph::at_time(&scenario, net_model::SimTime::EPOCH);
+    let dense = median_ms(15, || {
+        let g = bgp_sim::AsGraph::at_time(&scenario, net_model::SimTime::EPOCH);
+        bgp_sim::RoutingTable::compute(&g, world).reachable_from(world.ases[0].asn)
+    });
+    let reference = median_ms(7, || {
+        let g = bgp_sim::AsGraph::at_time(&scenario, net_model::SimTime::EPOCH);
+        bgp_sim::routing::reference::compute(&g, world).len()
+    });
+    benchmarks.push(json!({
+        "id": "substrates/bgp/full_routing_table",
+        "median_ms": dense,
+        "baseline": "seed BTreeMap engine (bgp_sim::routing::reference)",
+        "baseline_median_ms": reference,
+        "speedup": reference / dense,
+    }));
+
+    // --- Xaminer: oracle impact report for a major cable failure --------
+    let engine = xaminer_sim::XaminerEngine::oracle(world);
+    let cable = world.cable_by_name("SeaMeWe-5").expect("curated cable").id;
+    benchmarks.push(bench(
+        "substrates/xaminer/impact_report",
+        median_ms(25, || {
+            engine
+                .impact_report(&xaminer_sim::FailureEvent::CableFailure { cable })
+                .total_links
+        }),
+    ));
+
+    // --- Registry: E5-style search against a padded registry ------------
+    let registry = benchkit::padded_registry(400);
+    let queries = [
+        "map submarine cables",
+        "process failure event impact",
+        "bgp updates for a time window",
+        "country level impact table",
+    ];
+    benchmarks.push(bench(
+        "registry/search_400_entries",
+        median_ms(50, || {
+            queries.iter().map(|q| registry.search(q, 10).len()).sum::<usize>()
+        }),
+    ));
+
+    // --- World: cross-layer index lookups (Xaminer/toolkit hot loops) ---
+    let countries: Vec<net_model::Country> =
+        world.ases.iter().map(|a| a.country).collect();
+    benchmarks.push(bench(
+        "world/cross_layer_lookups",
+        median_ms(50, || {
+            let mut acc = 0usize;
+            for c in &world.cables {
+                acc += world.links_on_cable_ref(c.id).len();
+                acc += world.cable_by_name(&c.name).map(|c| c.landings.len()).unwrap_or(0);
+            }
+            for &c in &countries {
+                acc += world.as_count_in_country(c);
+            }
+            acc
+        }),
+    ));
+
+    // --- RIB capture: routing + per-(peer, origin) path materialization -
+    let peers: Vec<net_model::Asn> =
+        world.ases.iter().take(40).map(|a| a.asn).collect();
+    benchmarks.push(bench(
+        "substrates/bgp/rib_capture_40_peers",
+        median_ms(7, || {
+            bgp_sim::RibSnapshot::capture(&scenario, &peers, net_model::SimTime::EPOCH)
+                .entries
+                .len()
+        }),
+    ));
+
+    let report = json!({
+        "pr": 2,
+        "world": {
+            "ases": world.ases.len(),
+            "links": world.links.len(),
+            "cables": world.cables.len(),
+            "prefixes": world.prefixes.len(),
+        },
+        "graph": { "nodes": graph.node_count(), "edges": graph.edge_count() },
+        "benchmarks": benchmarks,
+    });
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{text}\n")).expect("write bench report");
+    println!("{text}");
+    eprintln!("wrote {out_path}");
+}

@@ -5,8 +5,15 @@
 //! every link between two ASes, the adjacency vanishes and routing must
 //! find valley-free alternatives — that is the mechanism by which physical
 //! failures become routing events.
+//!
+//! The graph is stored in **dense-index CSR form**: ASNs map once to
+//! contiguous `usize` indices (the same ascending-ASN order as
+//! `World::ases`), and adjacency lives in two flat arrays sliced by a
+//! per-node offset table. The routing engine works entirely in index
+//! space — no per-node map lookups, no allocation — and neighbour slices
+//! are sorted by ASN so `kind_between` is an O(log deg) binary search.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use net_model::{Asn, SimTime};
 use world::{RelKind, Scenario};
@@ -22,66 +29,139 @@ pub enum NeighborKind {
     Provider,
 }
 
-/// Immutable adjacency view of the AS graph at an instant.
+/// Immutable dense-index adjacency view of the AS graph at an instant.
 #[derive(Debug, Clone)]
 pub struct AsGraph {
-    /// node → (neighbour → kind-from-node's-perspective)
-    adj: BTreeMap<Asn, BTreeMap<Asn, NeighborKind>>,
+    /// Dense index → ASN, ascending (index space shared with
+    /// `World::asn_position`).
+    asns: Vec<Asn>,
+    /// ASN → dense index.
+    index: BTreeMap<Asn, u32>,
+    /// CSR offsets: node `i`'s neighbours live at `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// Neighbour dense indices, ascending within each node's slice.
+    nbr_index: Vec<u32>,
+    /// Kind of each neighbour, from the node's perspective (parallel to
+    /// `nbr_index`).
+    nbr_kind: Vec<NeighborKind>,
 }
 
 impl AsGraph {
     /// Builds the graph for the scenario at time `t`.
     pub fn at_time(scenario: &Scenario, t: SimTime) -> AsGraph {
+        let world = &scenario.world;
         let down = scenario.links_down_at(t);
-        // Count live links per AS pair.
-        let mut live: BTreeSet<(Asn, Asn)> = BTreeSet::new();
-        for link in &scenario.world.links {
+        // An adjacency is live while at least one of its links is up.
+        let mut live: std::collections::BTreeSet<(Asn, Asn)> = std::collections::BTreeSet::new();
+        for link in &world.links {
             if !down.contains(&link.id) {
                 live.insert(link.as_pair());
             }
         }
-        let mut adj: BTreeMap<Asn, BTreeMap<Asn, NeighborKind>> = BTreeMap::new();
-        for a in &scenario.world.ases {
-            adj.insert(a.asn, BTreeMap::new());
-        }
-        for rel in &scenario.world.relationships {
+        let asns: Vec<Asn> = world.ases.iter().map(|a| a.asn).collect();
+        let edges = world.relationships.iter().filter_map(|rel| {
             let pair = if rel.a <= rel.b { (rel.a, rel.b) } else { (rel.b, rel.a) };
-            if !live.contains(&pair) {
-                continue;
-            }
-            match rel.kind {
+            live.contains(&pair).then_some((rel.a, rel.b, rel.kind))
+        });
+        Self::build(asns, edges)
+    }
+
+    /// Builds a graph from an explicit node set and relationship edges —
+    /// the constructor the equivalence/property tests use to exercise
+    /// arbitrary topologies without generating a world. For
+    /// `RelKind::ProviderCustomer`, `a` is the provider of `b`.
+    pub fn from_relationships(
+        mut asns: Vec<Asn>,
+        edges: impl IntoIterator<Item = (Asn, Asn, RelKind)>,
+    ) -> AsGraph {
+        asns.sort();
+        asns.dedup();
+        Self::build(asns, edges)
+    }
+
+    fn build(asns: Vec<Asn>, edges: impl IntoIterator<Item = (Asn, Asn, RelKind)>) -> AsGraph {
+        let index: BTreeMap<Asn, u32> =
+            asns.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+        // Per-node sorted maps first (later relationship rows overwrite
+        // earlier ones for the same pair, matching the seed semantics),
+        // then flatten to CSR.
+        let mut adj: Vec<BTreeMap<u32, NeighborKind>> = vec![BTreeMap::new(); asns.len()];
+        for (a, b, kind) in edges {
+            let (ia, ib) = match (index.get(&a), index.get(&b)) {
+                (Some(&ia), Some(&ib)) => (ia, ib),
+                _ => continue,
+            };
+            match kind {
                 RelKind::ProviderCustomer => {
-                    // rel.a is provider of rel.b
-                    adj.get_mut(&rel.a).expect("known").insert(rel.b, NeighborKind::Customer);
-                    adj.get_mut(&rel.b).expect("known").insert(rel.a, NeighborKind::Provider);
+                    // `a` is provider of `b`.
+                    adj[ia as usize].insert(ib, NeighborKind::Customer);
+                    adj[ib as usize].insert(ia, NeighborKind::Provider);
                 }
                 RelKind::Peer => {
-                    adj.get_mut(&rel.a).expect("known").insert(rel.b, NeighborKind::Peer);
-                    adj.get_mut(&rel.b).expect("known").insert(rel.a, NeighborKind::Peer);
+                    adj[ia as usize].insert(ib, NeighborKind::Peer);
+                    adj[ib as usize].insert(ia, NeighborKind::Peer);
                 }
             }
         }
-        AsGraph { adj }
+        let mut offsets = Vec::with_capacity(asns.len() + 1);
+        let mut nbr_index = Vec::new();
+        let mut nbr_kind = Vec::new();
+        offsets.push(0u32);
+        for m in &adj {
+            for (&n, &k) in m {
+                nbr_index.push(n);
+                nbr_kind.push(k);
+            }
+            offsets.push(nbr_index.len() as u32);
+        }
+        AsGraph { asns, index, offsets, nbr_index, nbr_kind }
     }
 
     /// All nodes, ascending.
     pub fn nodes(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.adj.keys().copied()
+        self.asns.iter().copied()
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.asns.len()
     }
 
     /// Number of (undirected) adjacencies.
     pub fn edge_count(&self) -> usize {
-        self.adj.values().map(|n| n.len()).sum::<usize>() / 2
+        self.nbr_index.len() / 2
     }
 
-    /// Neighbours of `asn` with their kinds (from `asn`'s perspective).
+    /// The ASN at a dense index.
+    pub fn asn_of(&self, idx: usize) -> Asn {
+        self.asns[idx]
+    }
+
+    /// The dense index of an ASN.
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).map(|&i| i as usize)
+    }
+
+    /// Dense index → ASN table (index space of the routing engine).
+    pub fn asn_table(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Neighbour slice of a dense index: `(neighbour index, kind)` pairs,
+    /// ascending by neighbour index (equivalently, by neighbour ASN).
+    pub fn neighbor_slices(&self, idx: usize) -> (&[u32], &[NeighborKind]) {
+        let (lo, hi) = (self.offsets[idx] as usize, self.offsets[idx + 1] as usize);
+        (&self.nbr_index[lo..hi], &self.nbr_kind[lo..hi])
+    }
+
+    /// Neighbours of `asn` with their kinds (from `asn`'s perspective),
+    /// ascending by neighbour ASN.
     pub fn neighbors(&self, asn: Asn) -> impl Iterator<Item = (Asn, NeighborKind)> + '_ {
-        self.adj.get(&asn).into_iter().flat_map(|m| m.iter().map(|(&n, &k)| (n, k)))
+        let (idx, kinds) = match self.index_of(asn) {
+            Some(i) => self.neighbor_slices(i),
+            None => (&[] as &[u32], &[] as &[NeighborKind]),
+        };
+        idx.iter().zip(kinds).map(|(&n, &k)| (self.asns[n as usize], k))
     }
 
     /// The customers of `asn`.
@@ -101,7 +181,16 @@ impl AsGraph {
 
     /// Whether an adjacency exists.
     pub fn adjacent(&self, a: Asn, b: Asn) -> bool {
-        self.adj.get(&a).is_some_and(|m| m.contains_key(&b))
+        self.kind_between(a, b).is_some()
+    }
+
+    /// The kind of `b` from `a`'s perspective, if adjacent — an O(log deg)
+    /// binary search over `a`'s sorted neighbour slice.
+    pub fn kind_between(&self, a: Asn, b: Asn) -> Option<NeighborKind> {
+        let ia = self.index_of(a)?;
+        let ib = *self.index.get(&b)?;
+        let (idx, kinds) = self.neighbor_slices(ia);
+        idx.binary_search(&ib).ok().map(|pos| kinds[pos])
     }
 }
 
@@ -145,5 +234,53 @@ mod tests {
         let before = AsGraph::at_time(&scenario, cut_at - SimDuration::hours(1));
         let after = AsGraph::at_time(&scenario, cut_at + SimDuration::hours(1));
         assert!(after.edge_count() <= before.edge_count());
+    }
+
+    #[test]
+    fn dense_index_round_trips_and_orders_neighbors() {
+        let world = generate(&WorldConfig::default());
+        let scenario = Scenario::quiet(world, 10);
+        let g = AsGraph::at_time(&scenario, scenario.now);
+        for (i, asn) in g.nodes().enumerate() {
+            assert_eq!(g.asn_of(i), asn);
+            assert_eq!(g.index_of(asn), Some(i));
+            assert_eq!(scenario.world.asn_position(asn), Some(i), "index space matches World");
+            let nbrs: Vec<Asn> = g.neighbors(asn).map(|(n, _)| n).collect();
+            let mut sorted = nbrs.clone();
+            sorted.sort();
+            assert_eq!(nbrs, sorted, "neighbour slice of {asn} is ASN-ascending");
+        }
+    }
+
+    #[test]
+    fn kind_between_agrees_with_neighbor_scan() {
+        let world = generate(&WorldConfig::default());
+        let scenario = Scenario::quiet(world, 10);
+        let g = AsGraph::at_time(&scenario, scenario.now);
+        let nodes: Vec<Asn> = g.nodes().collect();
+        for &a in nodes.iter().take(40) {
+            for &b in nodes.iter().take(40) {
+                let scan = g.neighbors(a).find(|(n, _)| *n == b).map(|(_, k)| k);
+                assert_eq!(g.kind_between(a, b), scan);
+                assert_eq!(g.adjacent(a, b), scan.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn from_relationships_builds_expected_topology() {
+        let g = AsGraph::from_relationships(
+            vec![Asn(30), Asn(10), Asn(20)],
+            vec![
+                (Asn(10), Asn(20), RelKind::ProviderCustomer),
+                (Asn(20), Asn(30), RelKind::Peer),
+            ],
+        );
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.kind_between(Asn(10), Asn(20)), Some(NeighborKind::Customer));
+        assert_eq!(g.kind_between(Asn(20), Asn(10)), Some(NeighborKind::Provider));
+        assert_eq!(g.kind_between(Asn(20), Asn(30)), Some(NeighborKind::Peer));
+        assert_eq!(g.kind_between(Asn(10), Asn(30)), None);
     }
 }

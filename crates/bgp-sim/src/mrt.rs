@@ -72,6 +72,11 @@ impl MrtRecord {
     }
 }
 
+/// Frame header size: u64 timestamp + u16 type + u32 length.
+const HEADER_LEN: usize = 14;
+/// Payload prefix common to every record: u32 peer + u32 net + u8 len.
+const PEER_PREFIX_LEN: usize = 9;
+
 fn put_path(buf: &mut BytesMut, path: &[Asn]) {
     buf.put_u16(path.len() as u16);
     for a in path {
@@ -84,43 +89,65 @@ fn put_prefix(buf: &mut BytesMut, p: &Ipv4Net) {
     buf.put_u8(p.len());
 }
 
+/// Encoded size of a path field: u16 count + 4 bytes per ASN.
+fn path_len(path: &[Asn]) -> usize {
+    2 + 4 * path.len()
+}
+
+/// Writes one record header + peer/prefix prefix straight into `out` —
+/// payload lengths are computed upfront, so encoding appends to a single
+/// buffer with no per-record staging allocation.
+fn frame_header(out: &mut BytesMut, time: SimTime, ty: u16, payload_len: usize, peer: Asn, prefix: &Ipv4Net) {
+    out.put_u64(time.0 as u64);
+    out.put_u16(ty);
+    out.put_u32(payload_len as u32);
+    out.put_u32(peer.0);
+    put_prefix(out, prefix);
+}
+
 /// Encodes a RIB snapshot into one MRT-flavoured blob.
 pub fn encode_rib(rib: &RibSnapshot) -> Bytes {
-    let mut out = BytesMut::new();
+    let total: usize = rib
+        .entries
+        .iter()
+        .map(|e| HEADER_LEN + PEER_PREFIX_LEN + path_len(&e.as_path))
+        .sum();
+    let mut out = BytesMut::with_capacity(total);
     for e in &rib.entries {
-        let mut payload = BytesMut::new();
-        payload.put_u32(e.peer.0);
-        put_prefix(&mut payload, &e.prefix);
-        put_path(&mut payload, &e.as_path);
-        frame(&mut out, rib.at, TYPE_RIB, &payload);
+        let payload_len = PEER_PREFIX_LEN + path_len(&e.as_path);
+        frame_header(&mut out, rib.at, TYPE_RIB, payload_len, e.peer, &e.prefix);
+        put_path(&mut out, &e.as_path);
     }
     out.freeze()
 }
 
 /// Encodes an update stream into one MRT-flavoured blob.
 pub fn encode_updates(updates: &[BgpUpdate]) -> Bytes {
-    let mut out = BytesMut::new();
+    let total: usize = updates
+        .iter()
+        .map(|u| {
+            HEADER_LEN
+                + PEER_PREFIX_LEN
+                + match &u.kind {
+                    UpdateKind::Announce { as_path } => path_len(as_path),
+                    UpdateKind::Withdraw => 0,
+                }
+        })
+        .sum();
+    let mut out = BytesMut::with_capacity(total);
     for u in updates {
-        let mut payload = BytesMut::new();
-        payload.put_u32(u.peer.0);
-        put_prefix(&mut payload, &u.prefix);
-        let ty = match &u.kind {
+        match &u.kind {
             UpdateKind::Announce { as_path } => {
-                put_path(&mut payload, as_path);
-                TYPE_ANNOUNCE
+                let payload_len = PEER_PREFIX_LEN + path_len(as_path);
+                frame_header(&mut out, u.time, TYPE_ANNOUNCE, payload_len, u.peer, &u.prefix);
+                put_path(&mut out, as_path);
             }
-            UpdateKind::Withdraw => TYPE_WITHDRAW,
-        };
-        frame(&mut out, u.time, ty, &payload);
+            UpdateKind::Withdraw => {
+                frame_header(&mut out, u.time, TYPE_WITHDRAW, PEER_PREFIX_LEN, u.peer, &u.prefix);
+            }
+        }
     }
     out.freeze()
-}
-
-fn frame(out: &mut BytesMut, time: SimTime, ty: u16, payload: &BytesMut) {
-    out.put_u64(time.0 as u64);
-    out.put_u16(ty);
-    out.put_u32(payload.len() as u32);
-    out.extend_from_slice(payload);
 }
 
 /// Streaming reader over an encoded blob — the BGPStream-like interface.

@@ -39,17 +39,26 @@ pub struct RibSnapshot {
 
 impl RibSnapshot {
     /// Captures the snapshot for the given collector peers at `t`.
+    ///
+    /// Many prefixes share an origin AS, so the best path per
+    /// `(peer, origin)` pair is materialized from the routing table once
+    /// and reused for every prefix that origin announces.
     pub fn capture(scenario: &Scenario, peers: &[Asn], t: SimTime) -> RibSnapshot {
         let graph = AsGraph::at_time(scenario, t);
         let routing = RoutingTable::compute(&graph, &scenario.world);
         let mut entries = Vec::new();
+        let mut paths: BTreeMap<Asn, Option<Vec<Asn>>> = BTreeMap::new();
         for peer in peers {
+            paths.clear();
             for pfx in &scenario.world.prefixes {
-                if let Some(route) = routing.route(*peer, pfx.origin) {
+                let path = paths
+                    .entry(pfx.origin)
+                    .or_insert_with(|| routing.route(*peer, pfx.origin).map(|r| r.as_path));
+                if let Some(path) = path {
                     entries.push(RibEntry {
                         peer: *peer,
                         prefix: pfx.net,
-                        as_path: route.as_path.clone(),
+                        as_path: path.clone(),
                     });
                 }
             }

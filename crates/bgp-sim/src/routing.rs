@@ -14,6 +14,23 @@
 //!    node gains a *peer route*.
 //! 3. **Down phase** — BFS along provider→customer edges from every routed
 //!    node; reached nodes gain *provider routes*.
+//!
+//! ## Dense-index engine
+//!
+//! The engine works entirely in the dense index space of [`AsGraph`]: one
+//! flat slot per `(destination, holder)` pair holding a compact
+//! `(kind, hops, record)` triple, where `record` points into a frozen
+//! parent-pointer arena. Relaxations append one arena record instead of
+//! cloning a `Vec<Asn>` path, and full paths are materialized lazily on
+//! [`RoutingTable::route`] — eliminating the seed algorithm's
+//! O(V·E·path-len) allocation storm while producing **byte-identical**
+//! routes (the arena freezes exactly the path snapshots the seed's clones
+//! froze; see [`reference`] and the `dense_equivalence` suite).
+//!
+//! Destinations are independent, so [`RoutingTable::compute`] shards the
+//! per-destination sweep across cores with `std::thread::scope`; each
+//! destination is computed single-threaded, so the output is bit-identical
+//! regardless of worker count.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -52,21 +69,361 @@ impl Route {
     }
 }
 
+/// Sentinel for "no record / no route" in the dense tables.
+const NONE: u32 = u32::MAX;
+
+/// Compact per-(destination, holder) route state: selection key plus a
+/// pointer into the frozen-path arena. 12 bytes instead of a cloned path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Frozen-path record index, [`NONE`] when unrouted.
+    rec: u32,
+    /// ASN of the next hop (`as_path[1]`), for the deterministic
+    /// tie-break; 0 for origin slots (never compared — origin kind wins).
+    next_asn: u32,
+    /// AS-hop count of the selected path.
+    hops: u16,
+    kind: RouteKind,
+}
+
+const EMPTY: Slot = Slot { rec: NONE, next_asn: 0, hops: 0, kind: RouteKind::Origin };
+
+/// One frozen-path record: `(node, parent record)`; the parent chain walks
+/// towards the destination, whose record has parent [`NONE`].
+type PathRec = (u32, u32);
+
+/// Best routes towards one destination, in dense holder-index space.
+#[derive(Debug, Clone, Default)]
+struct DestRoutes {
+    /// One slot per holder index.
+    slots: Vec<Slot>,
+    /// Compacted frozen-path arena the slots point into.
+    records: Vec<PathRec>,
+}
+
 /// All best routes towards every destination AS.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    /// destination → (holder → best route)
-    routes: BTreeMap<Asn, BTreeMap<Asn, Route>>,
+    /// Dense index → ASN (the [`AsGraph`] index space).
+    asns: Vec<Asn>,
+    /// ASN → dense index.
+    index: BTreeMap<Asn, u32>,
+    /// Per-destination routes, indexed by the destination's dense index.
+    dests: Vec<DestRoutes>,
 }
 
 impl RoutingTable {
-    /// Computes best routes for every destination AS in the world.
+    /// Computes best routes for every destination AS in the world,
+    /// sharding destinations across all available cores.
     pub fn compute(graph: &AsGraph, world: &World) -> RoutingTable {
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::compute_with_threads(graph, world, threads)
+    }
+
+    /// [`RoutingTable::compute`] with an explicit worker count. The output
+    /// is bit-identical for every `threads` value: workers partition the
+    /// (independent) destinations and each destination is computed
+    /// single-threaded by the same deterministic sweep.
+    pub fn compute_with_threads(
+        graph: &AsGraph,
+        world: &World,
+        threads: usize,
+    ) -> RoutingTable {
+        debug_assert_eq!(graph.node_count(), world.ases.len());
+        Self::compute_for_graph(graph, threads)
+    }
+
+    /// Computes routes for every node of an arbitrary graph (the
+    /// world-free entry point the equivalence and property tests use).
+    pub fn compute_for_graph(graph: &AsGraph, threads: usize) -> RoutingTable {
+        let n = graph.node_count();
+        assert!(n < u16::MAX as usize, "hop counter is u16");
+        let threads = threads.clamp(1, n.max(1));
+
+        let dests: Vec<DestRoutes> = if threads == 1 || n < 2 {
+            let mut scratch = Scratch::new(n);
+            (0..n).map(|d| compute_destination(graph, d as u32, &mut scratch)).collect()
+        } else {
+            let chunk = n.div_ceil(threads);
+            let mut out: Vec<DestRoutes> = Vec::with_capacity(n);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        s.spawn(move || {
+                            let mut scratch = Scratch::new(n);
+                            (lo..hi)
+                                .map(|d| compute_destination(graph, d as u32, &mut scratch))
+                                .collect::<Vec<DestRoutes>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("routing worker panicked"));
+                }
+            });
+            out
+        };
+
+        RoutingTable {
+            asns: graph.asn_table().to_vec(),
+            index: graph.nodes().enumerate().map(|(i, a)| (a, i as u32)).collect(),
+            dests,
+        }
+    }
+
+    /// The best route from `src` towards `dst`, if any, with the AS path
+    /// materialized from the frozen parent-pointer chain.
+    pub fn route(&self, src: Asn, dst: Asn) -> Option<Route> {
+        let (s, d) = (self.idx(src)?, self.idx(dst)?);
+        let dest = &self.dests[d];
+        let slot = dest.slots[s];
+        (slot.rec != NONE).then(|| self.materialize(dest, slot))
+    }
+
+    /// The selection class of the `src → dst` route without materializing
+    /// the path.
+    pub fn kind(&self, src: Asn, dst: Asn) -> Option<RouteKind> {
+        let slot = self.slot(src, dst)?;
+        (slot.rec != NONE).then_some(slot.kind)
+    }
+
+    /// AS-hop count of the `src → dst` route without materializing the
+    /// path.
+    pub fn hop_count(&self, src: Asn, dst: Asn) -> Option<usize> {
+        let slot = self.slot(src, dst)?;
+        (slot.rec != NONE).then_some(slot.hops as usize)
+    }
+
+    /// Whether `src` holds a route towards `dst` — an O(log n) + O(1)
+    /// lookup.
+    pub fn has_route(&self, src: Asn, dst: Asn) -> bool {
+        self.slot(src, dst).is_some_and(|s| s.rec != NONE)
+    }
+
+    /// All holders with a route towards `dst`.
+    pub fn reachable_from(&self, dst: Asn) -> usize {
+        match self.idx(dst) {
+            Some(d) => self.dests[d].slots.iter().filter(|s| s.rec != NONE).count(),
+            None => 0,
+        }
+    }
+
+    /// Iterates `(dst, holder, route)` in canonical (ascending ASN) order,
+    /// materializing each path.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, Asn, Route)> + '_ {
+        self.dests.iter().enumerate().flat_map(move |(d, dest)| {
+            let dst = self.asns[d];
+            dest.slots.iter().enumerate().filter(|(_, s)| s.rec != NONE).map(
+                move |(h, &slot)| (dst, self.asns[h], self.materialize(dest, slot)),
+            )
+        })
+    }
+
+    fn idx(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).map(|&i| i as usize)
+    }
+
+    fn slot(&self, src: Asn, dst: Asn) -> Option<Slot> {
+        let (s, d) = (self.idx(src)?, self.idx(dst)?);
+        Some(self.dests[d].slots[s])
+    }
+
+    fn materialize(&self, dest: &DestRoutes, slot: Slot) -> Route {
+        let mut as_path = Vec::with_capacity(slot.hops as usize + 1);
+        let mut r = slot.rec;
+        while r != NONE {
+            let (node, parent) = dest.records[r as usize];
+            as_path.push(self.asns[node as usize]);
+            r = parent;
+        }
+        Route { as_path, kind: slot.kind }
+    }
+}
+
+/// Reusable per-worker buffers: route slots, the (uncompacted) frozen-path
+/// arena and the BFS queue — zero allocation per destination after warmup.
+struct Scratch {
+    slots: Vec<Slot>,
+    records: Vec<PathRec>,
+    remap: Vec<u32>,
+    stack: Vec<u32>,
+    queue: VecDeque<u32>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            slots: vec![EMPTY; n],
+            records: Vec::new(),
+            remap: Vec::new(),
+            stack: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Whether `node` lies on the frozen path snapshot rooted at `rec` — the
+/// dense equivalent of the seed's `as_path.contains(&u)` loop check.
+fn chain_contains(records: &[PathRec], mut rec: u32, node: u32) -> bool {
+    while rec != NONE {
+        let (n, parent) = records[rec as usize];
+        if n == node {
+            return true;
+        }
+        rec = parent;
+    }
+    false
+}
+
+/// Computes best routes towards the destination with dense index `d`.
+///
+/// Mirrors the seed algorithm exactly (see [`reference`]): same three
+/// phases, same relaxation rule, same deterministic tie-breaks — only the
+/// data layout differs, so the selected routes (including frozen path
+/// snapshots) are byte-identical.
+fn compute_destination(graph: &AsGraph, d: u32, scratch: &mut Scratch) -> DestRoutes {
+    let n = graph.node_count();
+    let Scratch { slots, records, remap, stack, queue } = scratch;
+    slots.fill(EMPTY);
+    records.clear();
+    queue.clear();
+
+    records.push((d, NONE));
+    slots[d as usize] = Slot { rec: 0, next_asn: 0, hops: 0, kind: RouteKind::Origin };
+
+    // Accepts `u ← v` if `(kind, hops, next-hop ASN)` strictly improves and
+    // the frozen path of `v` does not already contain `u`.
+    macro_rules! relax {
+        ($u:expr, $v:expr, $vs:expr, $kind:expr) => {{
+            let u = $u as usize;
+            let cand_hops = $vs.hops + 1;
+            let next_asn = graph.asn_of($v as usize).0;
+            let inc = slots[u];
+            let accept = inc.rec == NONE
+                || ($kind, cand_hops, next_asn) < (inc.kind, inc.hops, inc.next_asn);
+            if accept && !chain_contains(records, $vs.rec, $u) {
+                records.push(($u, $vs.rec));
+                slots[u] = Slot {
+                    rec: (records.len() - 1) as u32,
+                    next_asn,
+                    hops: cand_hops,
+                    kind: $kind,
+                };
+                true
+            } else {
+                false
+            }
+        }};
+    }
+
+    // Phase 1: customer routes — BFS "up" through providers of routed
+    // nodes. If v holds a route and u is a provider of v, u learns a
+    // customer route via v. Label-correcting relaxation with deterministic
+    // next-hop tie-break via the ASN-ordered adjacency slices.
+    queue.push_back(d);
+    while let Some(v) = queue.pop_front() {
+        let vs = slots[v as usize];
+        let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+        for (&u, &kind) in nbrs.iter().zip(kinds) {
+            if kind != NeighborKind::Provider {
+                continue; // we want u = provider of v, i.e. v sees u as Provider
+            }
+            if relax!(u, v, vs, RouteKind::Customer) {
+                queue.push_back(u);
+            }
+        }
+    }
+
+    // Phase 2: peer routes — one peer hop off any customer-routed node.
+    // Peer routes never beat customer routes, so nodes routed in this
+    // phase can never become sources of it; iterating live state in index
+    // order is equivalent to the seed's snapshot.
+    for v in 0..n as u32 {
+        let vs = slots[v as usize];
+        if vs.rec == NONE || !matches!(vs.kind, RouteKind::Customer | RouteKind::Origin) {
+            continue;
+        }
+        let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+        for (&u, &kind) in nbrs.iter().zip(kinds) {
+            if kind != NeighborKind::Peer {
+                continue;
+            }
+            relax!(u, v, vs, RouteKind::Peer);
+        }
+    }
+
+    // Phase 3: provider routes — BFS "down" through customers. Any routed
+    // node exports to its customers.
+    queue.extend((0..n as u32).filter(|&v| slots[v as usize].rec != NONE));
+    while let Some(v) = queue.pop_front() {
+        let vs = slots[v as usize];
+        let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+        for (&u, &kind) in nbrs.iter().zip(kinds) {
+            if kind != NeighborKind::Customer {
+                continue;
+            }
+            if relax!(u, v, vs, RouteKind::Provider) {
+                queue.push_back(u);
+            }
+        }
+    }
+
+    // Compact the arena down to records reachable from a final slot, in
+    // deterministic holder order.
+    remap.clear();
+    remap.resize(records.len(), NONE);
+    let mut out = DestRoutes { slots: Vec::with_capacity(n), records: Vec::new() };
+    for slot in slots.iter() {
+        let mut s = *slot;
+        if s.rec != NONE {
+            let mut r = s.rec;
+            while r != NONE && remap[r as usize] == NONE {
+                stack.push(r);
+                r = records[r as usize].1;
+            }
+            while let Some(r2) = stack.pop() {
+                let (node, parent) = records[r2 as usize];
+                let new_parent = if parent == NONE { NONE } else { remap[parent as usize] };
+                remap[r2 as usize] = out.records.len() as u32;
+                out.records.push((node, new_parent));
+            }
+            s.rec = remap[s.rec as usize];
+        }
+        out.slots.push(s);
+    }
+    out
+}
+
+/// Route preference: lower `RouteKind` wins, then fewer hops, then lowest
+/// next-hop ASN for determinism.
+fn better(candidate: &Route, incumbent: Option<&Route>) -> bool {
+    match incumbent {
+        None => true,
+        Some(inc) => {
+            let ck = (candidate.kind, candidate.hop_count(), candidate.as_path.get(1).copied());
+            let ik = (inc.kind, inc.hop_count(), inc.as_path.get(1).copied());
+            ck < ik
+        }
+    }
+}
+
+/// The seed (pre-dense) algorithm, retained verbatim as the ground truth
+/// for the equivalence suite and as the "before" engine in the bench
+/// trajectory. It clones a `Vec<Asn>` path on every accepted relaxation —
+/// exactly the allocation storm the dense engine eliminates.
+pub mod reference {
+    use super::*;
+
+    /// Computes best routes for every destination AS in the world.
+    pub fn compute(graph: &AsGraph, world: &World) -> BTreeMap<Asn, BTreeMap<Asn, Route>> {
         let mut routes = BTreeMap::new();
         for dst in world.ases.iter().map(|a| a.asn) {
-            routes.insert(dst, Self::compute_for_destination(graph, dst));
+            routes.insert(dst, compute_for_destination(graph, dst));
         }
-        RoutingTable { routes }
+        routes
     }
 
     /// Computes best routes towards a single destination.
@@ -74,17 +431,14 @@ impl RoutingTable {
         let mut best: BTreeMap<Asn, Route> = BTreeMap::new();
         best.insert(dst, Route { as_path: vec![dst], kind: RouteKind::Origin });
 
-        // Phase 1: customer routes — BFS "up" through providers of routed
-        // nodes. If v holds a route and u is a provider of v, u learns a
-        // customer route via v. Process in BFS order for shortest paths;
-        // deterministic next-hop tie-break via ordered adjacency.
+        // Phase 1: customer routes.
         let mut queue: VecDeque<Asn> = VecDeque::new();
         queue.push_back(dst);
         while let Some(v) = queue.pop_front() {
             let v_route = best.get(&v).expect("queued nodes are routed").clone();
             for (u, kind) in graph.neighbors(v) {
                 if kind != NeighborKind::Provider {
-                    continue; // we want u = provider of v, i.e. v sees u as Provider
+                    continue;
                 }
                 if v_route.as_path.contains(&u) {
                     continue; // never extend a path through itself
@@ -100,7 +454,7 @@ impl RoutingTable {
             }
         }
 
-        // Phase 2: peer routes — one peer hop off any customer-routed node.
+        // Phase 2: peer routes.
         let customer_routed: Vec<(Asn, Route)> = best
             .iter()
             .filter(|(_, r)| matches!(r.kind, RouteKind::Customer | RouteKind::Origin))
@@ -124,14 +478,10 @@ impl RoutingTable {
             }
         }
 
-        // Phase 3: provider routes — BFS "down" through customers. Any
-        // routed node exports to its customers.
+        // Phase 3: provider routes.
         let mut queue: VecDeque<Asn> = best.keys().copied().collect();
         while let Some(v) = queue.pop_front() {
             let v_route = best.get(&v).expect("queued nodes are routed").clone();
-            // v exports customer routes to customers always; peer/provider
-            // routes also go to customers. So any route v holds is
-            // exportable to v's customers.
             for (u, kind) in graph.neighbors(v) {
                 if kind != NeighborKind::Customer {
                     continue;
@@ -152,41 +502,11 @@ impl RoutingTable {
 
         best
     }
-
-    /// The best route from `src` towards `dst`, if any.
-    pub fn route(&self, src: Asn, dst: Asn) -> Option<&Route> {
-        self.routes.get(&dst).and_then(|m| m.get(&src))
-    }
-
-    /// All holders with a route towards `dst`.
-    pub fn reachable_from(&self, dst: Asn) -> usize {
-        self.routes.get(&dst).map_or(0, |m| m.len())
-    }
-
-    /// Iterates `(dst, holder, route)` in canonical order.
-    pub fn iter(&self) -> impl Iterator<Item = (Asn, Asn, &Route)> + '_ {
-        self.routes
-            .iter()
-            .flat_map(|(dst, m)| m.iter().map(move |(src, r)| (*dst, *src, r)))
-    }
-}
-
-/// Route preference: lower `RouteKind` wins, then fewer hops, then lowest
-/// next-hop ASN for determinism.
-fn better(candidate: &Route, incumbent: Option<&Route>) -> bool {
-    match incumbent {
-        None => true,
-        Some(inc) => {
-            let ck = (candidate.kind, candidate.hop_count(), candidate.as_path.get(1).copied());
-            let ik = (inc.kind, inc.hop_count(), inc.as_path.get(1).copied());
-            ck < ik
-        }
-    }
 }
 
 /// Checks that an AS path is valley-free given the graph: once the path
 /// goes down (provider→customer) or sideways (peer), it must never go up
-/// or sideways again.
+/// or sideways again. Each window is an O(log deg) adjacency lookup.
 pub fn is_valley_free(graph: &AsGraph, path: &[Asn]) -> bool {
     #[derive(PartialEq, PartialOrd)]
     enum Phase {
@@ -198,8 +518,8 @@ pub fn is_valley_free(graph: &AsGraph, path: &[Asn]) -> bool {
     for w in path.windows(2) {
         let (u, v) = (w[0], w[1]);
         // Edge direction from u's perspective.
-        let kind = match graph.neighbors(u).find(|(n, _)| *n == v) {
-            Some((_, k)) => k,
+        let kind = match graph.kind_between(u, v) {
+            Some(k) => k,
             None => return false, // not even an adjacency
         };
         match kind {
@@ -296,8 +616,8 @@ mod tests {
                 // src must have no customer or peer route available:
                 // no customer c of src with a route to dst shorter or equal.
                 for c in g.customers(src) {
-                    if let Some(cr) = rt.route(c, dst) {
-                        if matches!(cr.kind, RouteKind::Customer | RouteKind::Origin) {
+                    if let Some(ck) = rt.kind(c, dst) {
+                        if matches!(ck, RouteKind::Customer | RouteKind::Origin) {
                             // src could import this as a customer route.
                             panic!(
                                 "{src} selected provider route to {dst} while customer {c} offers one"
@@ -318,5 +638,26 @@ mod tests {
             p.dedup();
             assert_eq!(p.len(), route.as_path.len(), "loop in {:?}", route.as_path);
         }
+    }
+
+    #[test]
+    fn compact_accessors_agree_with_materialized_routes() {
+        let (_, _, rt) = routing();
+        for (dst, src, route) in rt.iter() {
+            assert_eq!(rt.kind(src, dst), Some(route.kind));
+            assert_eq!(rt.hop_count(src, dst), Some(route.hop_count()));
+            assert!(rt.has_route(src, dst));
+            assert_eq!(rt.route(src, dst), Some(route));
+        }
+    }
+
+    #[test]
+    fn unknown_asns_are_unrouted() {
+        let (scenario, _, rt) = routing();
+        let known = scenario.world.ases[0].asn;
+        assert_eq!(rt.route(Asn(1), known), None);
+        assert_eq!(rt.route(known, Asn(1)), None);
+        assert!(!rt.has_route(Asn(1), known));
+        assert_eq!(rt.reachable_from(Asn(1)), 0);
     }
 }

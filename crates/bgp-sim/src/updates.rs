@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use world::events::stable_hash;
 use world::Scenario;
 
-use crate::rib::RibSnapshot;
+use crate::rib::{RibEntry, RibSnapshot};
 
 /// Kind of update.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +54,14 @@ pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
         return updates;
     }
 
+    // A duplicated peer would duplicate (peer, prefix) entries in the
+    // snapshots, and the merge-join below would emit its updates twice
+    // (the old map-indexed diff deduplicated implicitly).
+    let mut peers: Vec<Asn> = peers.to_vec();
+    peers.sort();
+    peers.dedup();
+    let peers = &peers[..];
+
     let mut prev = RibSnapshot::capture(scenario, peers, scenario.horizon.start);
     for (at, _) in timeline {
         let after_t = SimTime(at.0 + 1);
@@ -66,6 +74,13 @@ pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
     updates
 }
 
+/// Diffs two snapshots by merge-joining their canonically sorted entry
+/// vectors — no per-diff `(peer, prefix)` index maps. Relies on
+/// [`RibSnapshot::capture`]'s invariant that entries are sorted by
+/// `(peer, prefix)` with no duplicates (peers are deduplicated by
+/// `derive_updates`). Updates are pushed unordered here; `derive_updates`
+/// sorts the full stream at the end (the `(time, peer, prefix)` key is
+/// collision-free, so output order is independent of emission order).
 fn diff_into(
     scenario: &Scenario,
     before: &RibSnapshot,
@@ -74,53 +89,64 @@ fn diff_into(
     out: &mut Vec<BgpUpdate>,
 ) {
     let seed = scenario.world.seed;
-    let bi = before.index();
-    let ai = after.index();
-
-    // Withdrawals: in before, not in after.
-    for (peer, prefix) in bi.keys() {
-        if !ai.contains_key(&(*peer, *prefix)) {
-            let t = jittered(seed, event_time, *peer, prefix, 0);
-            out.push(BgpUpdate { time: t, peer: *peer, prefix: *prefix, kind: UpdateKind::Withdraw });
+    let (b, a) = (&before.entries, &after.entries);
+    let (mut i, mut j) = (0, 0);
+    while i < b.len() || j < a.len() {
+        let bk = b.get(i).map(|e| (e.peer, e.prefix));
+        let ak = a.get(j).map(|e| (e.peer, e.prefix));
+        match (bk, ak) {
+            (Some(bk), ak) if ak.is_none() || bk < ak.unwrap() => {
+                // Withdrawal: in before, not in after.
+                let t = jittered(seed, event_time, bk.0, &bk.1, 0);
+                out.push(BgpUpdate { time: t, peer: bk.0, prefix: bk.1, kind: UpdateKind::Withdraw });
+                i += 1;
+            }
+            (bk, Some(ak)) if bk.is_none() || ak < bk.unwrap() => {
+                // New route.
+                announce_into(seed, event_time, &a[j], out);
+                j += 1;
+            }
+            _ => {
+                // Present in both: announce only on path change.
+                if b[i].as_path != a[j].as_path {
+                    announce_into(seed, event_time, &a[j], out);
+                }
+                i += 1;
+                j += 1;
+            }
         }
     }
+}
 
-    // Announcements: new or changed paths, with exploration transients.
-    for ((peer, prefix), entry) in &ai {
-        let changed = match bi.get(&(*peer, *prefix)) {
-            None => true,
-            Some(prev) => prev.as_path != entry.as_path,
-        };
-        if !changed {
-            continue;
+/// Emits the announcement for a new/changed entry, preceded by its 0–2
+/// deterministic path-exploration transients.
+fn announce_into(seed: u64, event_time: SimTime, entry: &RibEntry, out: &mut Vec<BgpUpdate>) {
+    let (peer, prefix) = (entry.peer, entry.prefix);
+    let n_transients =
+        (stable_hash(&[seed, peer.0 as u64, prefix.network().0 as u64, 0xA11]) % 3) as usize;
+    for k in 0..n_transients {
+        // Transient: the final path with the next hop's provider chain
+        // artificially extended (prepend the peer again — synthetic
+        // "exploration" path, clearly longer).
+        let mut path = entry.as_path.clone();
+        if let Some(&first) = path.first() {
+            path.insert(0, first);
         }
-        // 0–2 transient longer paths before settling, deterministic.
-        let n_transients =
-            (stable_hash(&[seed, peer.0 as u64, prefix.network().0 as u64, 0xA11]) % 3) as usize;
-        for k in 0..n_transients {
-            // Transient: the final path with the next hop's provider chain
-            // artificially extended (prepend the peer again — synthetic
-            // "exploration" path, clearly longer).
-            let mut path = entry.as_path.clone();
-            if let Some(&first) = path.first() {
-                path.insert(0, first);
-            }
-            let t = jittered(seed, event_time, *peer, prefix, 1 + k as u64);
-            out.push(BgpUpdate {
-                time: t,
-                peer: *peer,
-                prefix: *prefix,
-                kind: UpdateKind::Announce { as_path: path },
-            });
-        }
-        let t = jittered(seed, event_time, *peer, prefix, 10);
+        let t = jittered(seed, event_time, peer, &prefix, 1 + k as u64);
         out.push(BgpUpdate {
             time: t,
-            peer: *peer,
-            prefix: *prefix,
-            kind: UpdateKind::Announce { as_path: entry.as_path.clone() },
+            peer,
+            prefix,
+            kind: UpdateKind::Announce { as_path: path },
         });
     }
+    let t = jittered(seed, event_time, peer, &prefix, 10);
+    out.push(BgpUpdate {
+        time: t,
+        peer,
+        prefix,
+        kind: UpdateKind::Announce { as_path: entry.as_path.clone() },
+    });
 }
 
 /// Event time plus 0–89 s of deterministic convergence jitter. The jitter
@@ -204,6 +230,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn peer_order_and_duplicates_do_not_change_the_stream() {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+        let peers: Vec<Asn> = s.world.ases.iter().take(20).map(|a| a.asn).collect();
+        let canonical = derive_updates(&s, &peers);
+        assert!(!canonical.is_empty());
+
+        let mut reversed = peers.clone();
+        reversed.reverse();
+        assert_eq!(derive_updates(&s, &reversed), canonical);
+
+        let mut with_dups = peers.clone();
+        with_dups.extend(peers.iter().take(5).copied());
+        assert_eq!(derive_updates(&s, &with_dups), canonical);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Equivalence suite: the dense-index routing engine must produce
+//! **byte-identical** selected routes to the seed algorithm (retained as
+//! `routing::reference`), on the default world and on arbitrary small
+//! relationship graphs, and its sharded sweep must be bit-identical for
+//! every worker count.
+
+use proptest::prelude::*;
+
+use bgp_sim::routing::{is_valley_free, reference};
+use bgp_sim::{AsGraph, RoutingTable};
+use net_model::{Asn, SimDuration, SimTime};
+use world::{generate, EventKind, RelKind, Scenario, WorldConfig};
+
+/// Compares the dense table against the reference map for every
+/// `(destination, holder)` pair, in both directions.
+fn assert_equivalent(graph: &AsGraph, table: &RoutingTable) {
+    let nodes: Vec<Asn> = graph.nodes().collect();
+    for &dst in &nodes {
+        let expected = reference::compute_for_destination(graph, dst);
+        assert_eq!(
+            table.reachable_from(dst),
+            expected.len(),
+            "holder count towards {dst} diverges"
+        );
+        for &src in &nodes {
+            let dense = table.route(src, dst);
+            let seed = expected.get(&src).cloned();
+            assert_eq!(dense, seed, "route {src} -> {dst} diverges from the seed algorithm");
+            assert_eq!(table.kind(src, dst), seed.as_ref().map(|r| r.kind));
+            assert_eq!(table.hop_count(src, dst), seed.as_ref().map(|r| r.hop_count()));
+        }
+    }
+}
+
+#[test]
+fn dense_engine_matches_seed_on_default_world() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let table = RoutingTable::compute(&graph, &scenario.world);
+    assert_equivalent(&graph, &table);
+}
+
+#[test]
+fn dense_engine_matches_seed_after_a_cable_cut() {
+    let world = generate(&WorldConfig::default());
+    let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+    let cut = SimTime::EPOCH + SimDuration::days(5);
+    let scenario = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+    let graph = AsGraph::at_time(&scenario, cut + SimDuration::hours(1));
+    let table = RoutingTable::compute(&graph, &scenario.world);
+    assert_equivalent(&graph, &table);
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_across_worker_counts() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+
+    let t1 = RoutingTable::compute_with_threads(&graph, &scenario.world, 1);
+    let t2 = RoutingTable::compute_with_threads(&graph, &scenario.world, 2);
+    let t8 = RoutingTable::compute_with_threads(&graph, &scenario.world, 8);
+
+    let all1: Vec<_> = t1.iter().collect();
+    let all2: Vec<_> = t2.iter().collect();
+    let all8: Vec<_> = t8.iter().collect();
+    assert_eq!(all1, all2, "1 vs 2 workers");
+    assert_eq!(all1, all8, "1 vs 8 workers");
+}
+
+/// A random small relationship graph: a loose tier structure (every
+/// non-top node buys transit from some lower-indexed node, so the graph is
+/// connected upwards) plus random extra provider and peer edges.
+fn arbitrary_graph() -> impl Strategy<Value = (Vec<Asn>, Vec<(Asn, Asn, RelKind)>)> {
+    (4usize..24, proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u8>()), 0..64))
+        .prop_map(|(n, raw_edges)| {
+            let asns: Vec<Asn> = (0..n).map(|i| Asn(100 + i as u32 * 7)).collect();
+            let mut edges: Vec<(Asn, Asn, RelKind)> = Vec::new();
+            // Backbone: node i (i > 0) is a customer of some j < i.
+            for i in 1..n {
+                let j = (i * 13 + 5) % i;
+                edges.push((asns[j], asns[i], RelKind::ProviderCustomer));
+            }
+            for (a, b, k) in raw_edges {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a == b {
+                    continue;
+                }
+                let kind = if k % 3 == 0 { RelKind::Peer } else { RelKind::ProviderCustomer };
+                edges.push((asns[a], asns[b], kind));
+            }
+            (asns, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On arbitrary relationship graphs the dense engine and the seed
+    /// algorithm select byte-identical routes for every destination.
+    #[test]
+    fn dense_engine_matches_seed_on_arbitrary_graphs(spec in arbitrary_graph()) {
+        let (asns, edges) = spec;
+        let graph = AsGraph::from_relationships(asns, edges);
+        let table = RoutingTable::compute_for_graph(&graph, 1);
+        let nodes: Vec<Asn> = graph.nodes().collect();
+        for &dst in &nodes {
+            let expected = reference::compute_for_destination(&graph, dst);
+            for &src in &nodes {
+                let dense = table.route(src, dst);
+                let seed = expected.get(&src).cloned();
+                prop_assert_eq!(dense, seed);
+            }
+        }
+    }
+
+    /// Sharding arbitrary graphs across workers never changes the output.
+    #[test]
+    fn arbitrary_graphs_are_thread_count_invariant(spec in arbitrary_graph()) {
+        let (asns, edges) = spec;
+        let graph = AsGraph::from_relationships(asns, edges);
+        let t1 = RoutingTable::compute_for_graph(&graph, 1);
+        let t3 = RoutingTable::compute_for_graph(&graph, 3);
+        let all1: Vec<_> = t1.iter().collect();
+        let all3: Vec<_> = t3.iter().collect();
+        prop_assert_eq!(all1, all3);
+    }
+
+    /// Every dense-selected path is valley-free and simple on arbitrary
+    /// graphs, not just on generated worlds.
+    #[test]
+    fn dense_routes_are_valley_free_and_simple(spec in arbitrary_graph()) {
+        let (asns, edges) = spec;
+        let graph = AsGraph::from_relationships(asns, edges);
+        let table = RoutingTable::compute_for_graph(&graph, 2);
+        for (_, _, route) in table.iter() {
+            prop_assert!(is_valley_free(&graph, &route.as_path));
+            let mut p = route.as_path.clone();
+            p.sort();
+            p.dedup();
+            prop_assert_eq!(p.len(), route.as_path.len());
+        }
+    }
+}

@@ -24,11 +24,11 @@ pub mod search;
 
 pub use entry::{CapabilityEntry, CostClass, FunctionId, Implementation, Param};
 pub use format::DataFormat;
-pub use search::SearchHit;
+pub use search::{EntryTokens, SearchHit};
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Errors raised by registry operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,9 +56,40 @@ impl std::fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {}
 
 /// The capability registry.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Registry {
     entries: BTreeMap<FunctionId, CapabilityEntry>,
+    /// Per-entry token sets, built once at [`Registry::register`] time so
+    /// search never re-tokenizes entry text (see [`search`]). Keyed in
+    /// lockstep with `entries`; rebuilt (not persisted) on deserialize.
+    tokens: BTreeMap<FunctionId, EntryTokens>,
+}
+
+// The token cache is derived state, so (de)serialization is hand-written:
+// only `entries` is persisted (the same JSON shape the derive produced)
+// and the cache is rebuilt when a registry is loaded — it can never go
+// stale against its entries.
+impl Serialize for Registry {
+    fn serialize_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("entries".to_string(), self.entries.serialize_json());
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Registry {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::Error> {
+        let obj = match v {
+            Value::Object(m) => m,
+            _ => return Err(serde::Error::msg("expected registry object")),
+        };
+        let entries_value =
+            obj.get("entries").ok_or_else(|| serde::Error::msg("missing field entries"))?;
+        let entries: BTreeMap<FunctionId, CapabilityEntry> =
+            Deserialize::deserialize_json(entries_value)?;
+        let tokens = entries.iter().map(|(id, e)| (id.clone(), EntryTokens::of(e))).collect();
+        Ok(Registry { entries, tokens })
+    }
 }
 
 impl Registry {
@@ -83,6 +114,7 @@ impl Registry {
                 }
             }
         }
+        self.tokens.insert(entry.id.clone(), EntryTokens::of(&entry));
         self.entries.insert(entry.id.clone(), entry);
         Ok(())
     }
@@ -110,6 +142,14 @@ impl Registry {
     /// All entries in canonical (id) order.
     pub fn iter(&self) -> impl Iterator<Item = &CapabilityEntry> + '_ {
         self.entries.values()
+    }
+
+    /// Entries zipped with their register-time token caches, in canonical
+    /// (id) order. The two maps are keyed in lockstep.
+    pub(crate) fn iter_with_tokens(
+        &self,
+    ) -> impl Iterator<Item = (&CapabilityEntry, &EntryTokens)> + '_ {
+        self.entries.values().zip(self.tokens.values())
     }
 
     /// Entries from one framework.

@@ -3,7 +3,9 @@
 //! A deliberately simple ranked retrieval: tokenize the query, score each
 //! entry by weighted keyword overlap (id > tags > capability sentence),
 //! return the top hits. One linear pass per query — the linear-scaling
-//! property benchmarked in E5.
+//! property benchmarked in E5. Entry text is tokenized **once, at
+//! `register()` time** ([`EntryTokens`]); each query only tokenizes
+//! itself and probes the cached sorted token sets.
 
 use crate::entry::CapabilityEntry;
 use crate::Registry;
@@ -23,24 +25,47 @@ pub fn tokenize(s: &str) -> Vec<String> {
         .collect()
 }
 
-/// Scores one entry against pre-tokenized query terms.
-fn score(entry: &CapabilityEntry, terms: &[String]) -> f64 {
+/// Cached lowercase token sets of one entry (sorted and deduplicated, so
+/// membership is a binary search). Built once when the entry is
+/// registered; rankings are identical to re-tokenizing on every score.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EntryTokens {
+    id: Vec<String>,
+    tags: Vec<String>,
+    capability: Vec<String>,
+}
+
+fn sorted_tokens(mut tokens: Vec<String>) -> Vec<String> {
+    tokens.sort();
+    tokens.dedup();
+    tokens
+}
+
+impl EntryTokens {
+    /// Tokenizes an entry's searchable text.
+    pub fn of(entry: &CapabilityEntry) -> EntryTokens {
+        EntryTokens {
+            id: sorted_tokens(tokenize(&entry.id.0)),
+            tags: sorted_tokens(entry.tags.iter().flat_map(|t| tokenize(t)).collect()),
+            capability: sorted_tokens(tokenize(&entry.capability)),
+        }
+    }
+}
+
+/// Scores cached entry tokens against pre-tokenized query terms.
+fn score(tokens: &EntryTokens, terms: &[String]) -> f64 {
     if terms.is_empty() {
         return 0.0;
     }
-    let id_tokens = tokenize(&entry.id.0);
-    let tag_tokens: Vec<String> = entry.tags.iter().flat_map(|t| tokenize(t)).collect();
-    let cap_tokens = tokenize(&entry.capability);
-
     let mut s = 0.0;
     for term in terms {
-        if id_tokens.contains(term) {
+        if tokens.id.binary_search(term).is_ok() {
             s += 3.0;
         }
-        if tag_tokens.contains(term) {
+        if tokens.tags.binary_search(term).is_ok() {
             s += 2.0;
         }
-        if cap_tokens.contains(term) {
+        if tokens.capability.binary_search(term).is_ok() {
             s += 1.0;
         }
     }
@@ -51,8 +76,8 @@ fn score(entry: &CapabilityEntry, terms: &[String]) -> f64 {
 pub fn search<'a>(registry: &'a Registry, query: &str, limit: usize) -> Vec<SearchHit<'a>> {
     let terms = tokenize(query);
     let mut hits: Vec<SearchHit<'a>> = registry
-        .iter()
-        .map(|entry| SearchHit { entry, score: score(entry, &terms) })
+        .iter_with_tokens()
+        .map(|(entry, tokens)| SearchHit { entry, score: score(tokens, &terms) })
         .filter(|h| h.score > 0.0)
         .collect();
     hits.sort_by(|a, b| {
@@ -142,5 +167,54 @@ mod tests {
     fn tokenize_drops_punctuation_and_short_tokens() {
         assert_eq!(tokenize("IP-links, to: cables!"), vec!["ip", "links", "to", "cables"]);
         assert_eq!(tokenize("a b c"), Vec::<String>::new());
+    }
+
+    /// The register-time token cache must rank exactly like re-tokenizing
+    /// every entry per query (the seed behaviour).
+    #[test]
+    fn cached_scores_match_retokenizing() {
+        fn uncached_score(entry: &CapabilityEntry, terms: &[String]) -> f64 {
+            if terms.is_empty() {
+                return 0.0;
+            }
+            let id_tokens = tokenize(&entry.id.0);
+            let tag_tokens: Vec<String> = entry.tags.iter().flat_map(|t| tokenize(t)).collect();
+            let cap_tokens = tokenize(&entry.capability);
+            let mut s = 0.0;
+            for term in terms {
+                if id_tokens.contains(term) {
+                    s += 3.0;
+                }
+                if tag_tokens.contains(term) {
+                    s += 2.0;
+                }
+                if cap_tokens.contains(term) {
+                    s += 1.0;
+                }
+            }
+            s / terms.len() as f64
+        }
+
+        let r = registry();
+        let queries = [
+            "map submarine cables",
+            "process event",
+            "bgp updates window",
+            "failure impact cross-layer",
+            "quantum chromodynamics",
+            "",
+            "cable cable cable",
+        ];
+        for q in queries {
+            let terms = tokenize(q);
+            for (entry, tokens) in r.iter_with_tokens() {
+                assert_eq!(
+                    score(tokens, &terms),
+                    uncached_score(entry, &terms),
+                    "entry {} query {q:?}",
+                    entry.id
+                );
+            }
+        }
     }
 }

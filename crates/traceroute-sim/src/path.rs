@@ -58,7 +58,7 @@ pub fn forwarding_path(
     };
 
     let route = match sim.routing_at(time).route(probe_info.asn, origin) {
-        Some(r) => r.clone(),
+        Some(r) => r,
         None => return ForwardingPath::default(),
     };
 
@@ -68,11 +68,14 @@ pub fn forwarding_path(
 
     for w in route.as_path.windows(2) {
         let (from_as, to_as) = (w[0], w[1]);
-        // Live parallel links between the pair, canonical order.
+        // Live parallel links between the pair, canonical (ascending id)
+        // order — an O(k) hit on the world's AS-pair index instead of a
+        // scan over every link per AS hop.
         let candidates: Vec<&world::IpLink> = world
-            .links
+            .links_between(from_as, to_as)
             .iter()
-            .filter(|l| l.connects(from_as, to_as) && !down.contains(&l.id))
+            .map(|&l| world.link(l))
+            .filter(|l| !down.contains(&l.id))
             .collect();
         if candidates.is_empty() {
             // The BGP route says the adjacency exists, so this should not

@@ -72,6 +72,15 @@ pub struct World {
     pub probes: Vec<Probe>,
 
     asn_index: BTreeMap<Asn, usize>,
+    /// Cross-layer index: cable → IP links riding it, ascending [`LinkId`].
+    cable_links: Vec<Vec<LinkId>>,
+    /// Lowercased cable name → cable (first cable wins on duplicate names).
+    cable_name_index: BTreeMap<String, CableId>,
+    /// Country → ASNs registered there, ascending.
+    country_asns: BTreeMap<Country, Vec<Asn>>,
+    /// Unordered AS pair (lower ASN first) → IP links between the pair,
+    /// ascending [`LinkId`].
+    pair_links: BTreeMap<(Asn, Asn), Vec<LinkId>>,
 }
 
 impl World {
@@ -88,7 +97,29 @@ impl World {
         links: Vec<IpLink>,
         probes: Vec<Probe>,
     ) -> World {
-        let asn_index = ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        let asn_index: BTreeMap<Asn, usize> =
+            ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+
+        // Cross-layer index tables. These sit inside the Xaminer impact and
+        // toolkit/traceroute hot loops, so they are built once here instead
+        // of being recomputed by full scans on every lookup.
+        let mut cable_links: Vec<Vec<LinkId>> = vec![Vec::new(); cables.len()];
+        let mut pair_links: BTreeMap<(Asn, Asn), Vec<LinkId>> = BTreeMap::new();
+        for link in &links {
+            for cable in link.path.cables() {
+                cable_links[cable.index()].push(link.id);
+            }
+            pair_links.entry(link.as_pair()).or_default().push(link.id);
+        }
+        let mut cable_name_index: BTreeMap<String, CableId> = BTreeMap::new();
+        for c in &cables {
+            cable_name_index.entry(c.name.to_ascii_lowercase()).or_insert(c.id);
+        }
+        let mut country_asns: BTreeMap<Country, Vec<Asn>> = BTreeMap::new();
+        for a in &ases {
+            country_asns.entry(a.country).or_default().push(a.asn);
+        }
+
         World {
             seed,
             cities,
@@ -100,6 +131,10 @@ impl World {
             links,
             probes,
             asn_index,
+            cable_links,
+            cable_name_index,
+            country_asns,
+            pair_links,
         }
     }
 
@@ -133,27 +168,53 @@ impl World {
         self.asn_index.get(&asn).map(|&i| &self.ases[i])
     }
 
-    /// Finds a cable by (case-insensitive) name.
+    /// The dense position of an ASN in [`World::ases`] (ASNs ascending).
+    ///
+    /// This is the index space the dense routing engine and other
+    /// `Vec`-backed per-AS tables share.
+    pub fn asn_position(&self, asn: Asn) -> Option<usize> {
+        self.asn_index.get(&asn).copied()
+    }
+
+    /// Finds a cable by (case-insensitive) name. O(log cables) via the
+    /// precomputed name index.
     pub fn cable_by_name(&self, name: &str) -> Option<&Cable> {
         let lower = name.to_ascii_lowercase();
-        self.cables.iter().find(|c| c.name.to_ascii_lowercase() == lower)
+        self.cable_name_index.get(&lower).map(|&id| self.cable(id))
     }
 
-    /// All IP links whose physical path rides the given cable.
+    /// All IP links whose physical path rides the given cable, ascending.
     ///
     /// This is the cross-layer **ground truth** that the Nautilus substrate
-    /// tries to *infer* from geometry and latency.
+    /// tries to *infer* from geometry and latency. O(k) map hit on the
+    /// index precomputed at [`World::assemble`] time.
     pub fn links_on_cable(&self, cable: CableId) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .filter(|l| l.path.cables().contains(&cable))
-            .map(|l| l.id)
-            .collect()
+        self.cable_links[cable.index()].clone()
     }
 
-    /// ASNs registered in a country.
+    /// Borrowed variant of [`World::links_on_cable`] for hot loops that
+    /// only iterate.
+    pub fn links_on_cable_ref(&self, cable: CableId) -> &[LinkId] {
+        &self.cable_links[cable.index()]
+    }
+
+    /// ASNs registered in a country, ascending. O(k) map hit.
     pub fn asns_in_country(&self, country: Country) -> Vec<Asn> {
-        self.ases.iter().filter(|a| a.country == country).map(|a| a.asn).collect()
+        self.country_asns.get(&country).cloned().unwrap_or_default()
+    }
+
+    /// How many ASes are registered in a country, without materializing
+    /// the list — the Xaminer impact denominators use this per row.
+    pub fn as_count_in_country(&self, country: Country) -> usize {
+        self.country_asns.get(&country).map_or(0, |v| v.len())
+    }
+
+    /// IP links between an AS pair (order-insensitive), ascending
+    /// [`LinkId`]. O(log pairs) — traceroute path resolution uses this
+    /// instead of scanning every link per AS hop.
+    pub fn links_between(&self, a: Asn, b: Asn) -> &[LinkId] {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        self.pair_links.get(&pair).map_or(&[], |v| v.as_slice())
     }
 
     /// The country a prefix geolocates to (origin-AS home country).
@@ -200,6 +261,75 @@ impl World {
                 return Err(format!("prefix {} originated by unknown AS", p.net));
             }
         }
+        // The precomputed cross-layer indices must agree with full scans.
+        let indexed: usize = self.cable_links.iter().map(|v| v.len()).sum();
+        let scanned: usize = self.links.iter().map(|l| l.path.cables().len()).sum();
+        if indexed != scanned {
+            return Err(format!("cable-link index covers {indexed} pairs, scan finds {scanned}"));
+        }
+        let paired: usize = self.pair_links.values().map(|v| v.len()).sum();
+        if paired != self.links.len() {
+            return Err(format!("pair-link index covers {paired}/{} links", self.links.len()));
+        }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, WorldConfig};
+
+    #[test]
+    fn index_tables_match_full_scans() {
+        let w = generate(&WorldConfig::default());
+        for cable in &w.cables {
+            let scan: Vec<LinkId> = w
+                .links
+                .iter()
+                .filter(|l| l.path.cables().contains(&cable.id))
+                .map(|l| l.id)
+                .collect();
+            assert_eq!(w.links_on_cable(cable.id), scan, "cable {}", cable.name);
+            assert_eq!(w.links_on_cable_ref(cable.id), scan.as_slice());
+            assert_eq!(w.cable_by_name(&cable.name).map(|c| c.id), Some(cable.id));
+            assert_eq!(
+                w.cable_by_name(&cable.name.to_ascii_uppercase()).map(|c| c.id),
+                Some(cable.id)
+            );
+        }
+        let countries: std::collections::BTreeSet<Country> =
+            w.ases.iter().map(|a| a.country).collect();
+        for &c in &countries {
+            let scan: Vec<Asn> =
+                w.ases.iter().filter(|a| a.country == c).map(|a| a.asn).collect();
+            assert_eq!(w.asns_in_country(c), scan);
+            assert_eq!(w.as_count_in_country(c), scan.len());
+        }
+        assert!(w.asns_in_country(Country(*b"ZZ")).is_empty());
+        assert_eq!(w.as_count_in_country(Country(*b"ZZ")), 0);
+    }
+
+    #[test]
+    fn pair_link_index_matches_connects_scan() {
+        let w = generate(&WorldConfig::default());
+        let probe_pairs: Vec<(Asn, Asn)> =
+            w.links.iter().take(50).map(|l| l.as_pair()).collect();
+        for (a, b) in probe_pairs {
+            let scan: Vec<LinkId> =
+                w.links.iter().filter(|l| l.connects(a, b)).map(|l| l.id).collect();
+            assert_eq!(w.links_between(a, b), scan.as_slice());
+            assert_eq!(w.links_between(b, a), scan.as_slice(), "order-insensitive");
+        }
+        assert!(w.links_between(Asn(1), Asn(2)).is_empty());
+    }
+
+    #[test]
+    fn asn_position_matches_vec_order() {
+        let w = generate(&WorldConfig::default());
+        for (i, a) in w.ases.iter().enumerate() {
+            assert_eq!(w.asn_position(a.asn), Some(i));
+        }
+        assert_eq!(w.asn_position(Asn(0)), None);
     }
 }

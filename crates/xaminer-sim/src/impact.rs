@@ -130,7 +130,7 @@ pub fn aggregate(world: &World, failure: &FailureImpact) -> ImpactReport {
         .into_iter()
         .map(|(country, acc)| {
             let total = country_totals.get(&country).copied().unwrap_or(0).max(1);
-            let total_ases = world.asns_in_country(country).len().max(1);
+            let total_ases = world.as_count_in_country(country).max(1);
             let ases_affected = ases_by_country.get(&country).copied().unwrap_or(0);
             let link_fraction = acc.links as f64 / total as f64;
             let as_fraction = ases_affected as f64 / total_ases as f64;
