@@ -206,48 +206,48 @@ pub fn expert_cs4() -> Workflow {
 }
 
 /// Query-argument values the expert would supply for each case study.
-pub fn expert_args(case: usize, horizon_end: i64) -> std::collections::BTreeMap<String, workflow::TypedValue> {
-    use workflow::TypedValue;
+pub fn expert_args(case: usize, horizon_end: i64) -> std::collections::BTreeMap<String, workflow::Value> {
+    use workflow::Value;
     let mut args = std::collections::BTreeMap::new();
     match case {
         1 => {
             args.insert(
                 "cable_name".to_string(),
-                TypedValue::new(F::Text, serde_json::json!("SeaMeWe-5")),
+                Value::new(F::Text, serde_json::json!("SeaMeWe-5")),
             );
         }
         2 => {
             args.insert(
                 "earthquake_specs".to_string(),
-                TypedValue::new(
+                Value::new(
                     F::DisasterSpecs,
                     serde_json::json!([{"kind": "earthquake", "qualifier": "severe"}]),
                 ),
             );
             args.insert(
                 "hurricane_specs".to_string(),
-                TypedValue::new(
+                Value::new(
                     F::DisasterSpecs,
                     serde_json::json!([{"kind": "hurricane", "qualifier": "globally"}]),
                 ),
             );
             args.insert(
                 "failure_probability".to_string(),
-                TypedValue::new(F::Scalar, serde_json::json!(0.1)),
+                Value::new(F::Scalar, serde_json::json!(0.1)),
             );
         }
         3 | 4 => {
             args.insert(
                 "src_region".to_string(),
-                TypedValue::new(F::RegionScope, serde_json::json!("Europe")),
+                Value::new(F::RegionScope, serde_json::json!("Europe")),
             );
             args.insert(
                 "dst_region".to_string(),
-                TypedValue::new(F::RegionScope, serde_json::json!("Asia")),
+                Value::new(F::RegionScope, serde_json::json!("Asia")),
             );
             args.insert(
                 "window".to_string(),
-                TypedValue::new(
+                Value::new(
                     F::TimeWindow,
                     serde_json::json!({"start": 0, "end": horizon_end}),
                 ),

@@ -1,6 +1,6 @@
-//! Bench trajectory: plain wall-clock medians for the substrate hot paths,
-//! written as `BENCH_pr2.json` at the repo root (and uploaded as a CI
-//! artifact).
+//! Bench trajectory: plain wall-clock medians for the substrate and
+//! serving hot paths, written as `BENCH_pr3.json` at the repo root (and
+//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -9,11 +9,15 @@
 //!
 //! Unlike the criterion benches (statistical, interactive), this is the
 //! cheap comparable record each PR leaves behind: one JSON file with a
-//! median per hot path. The routing row also times the retained seed
-//! algorithm (`bgp_sim::routing::reference`) on the same graph, so the
-//! dense engine's speedup is measured in-tree rather than against a
-//! remembered number. See README § "Bench trajectory" for how to read and
-//! extend these files.
+//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr3`
+//! repeats every `BENCH_pr2` row and adds the PR 3 serving rows:
+//!
+//! * `workflow/exec_dag` — the parallel DAG executor on a fan-out
+//!   workload, max workers vs 1 worker (measured in-tree, like the
+//!   routing row measures the retained seed engine);
+//! * `engine/concurrent_sessions` — N cold-cache queries served
+//!   end-to-end (generate + execute) through engine sessions, max
+//!   session threads vs 1.
 
 use std::time::Instant;
 
@@ -43,7 +47,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -126,8 +130,71 @@ fn main() {
         }),
     ));
 
+    // --- PR 3: parallel DAG executor, max workers vs 1 ------------------
+    // Exercise at least 4 workers even on small containers so the
+    // concurrent paths are the thing being measured; on a single-CPU box
+    // the speedup honestly reads ~1.0 and CI's multi-core run shows the
+    // real scaling.
+    let max_workers = workflow::exec::default_workers().max(4);
+    let (dag_registry, dag_workflow) = benchkit::exec_dag_workload(24);
+    let busy = benchkit::BusyRuntime { rounds: 400_000 };
+    let dag_args = std::collections::BTreeMap::new();
+    let dag_seq = median_ms(9, || {
+        workflow::execute_with(
+            &dag_workflow, &dag_registry, &busy, &dag_args,
+            &workflow::ExecOptions { workers: 1 },
+        )
+        .executed
+    });
+    let dag_par = median_ms(9, || {
+        workflow::execute_with(
+            &dag_workflow, &dag_registry, &busy, &dag_args,
+            &workflow::ExecOptions { workers: max_workers },
+        )
+        .executed
+    });
+    benchmarks.push(json!({
+        "id": "workflow/exec_dag",
+        "median_ms": dag_par,
+        "baseline": "same DAG at 1 worker",
+        "baseline_median_ms": dag_seq,
+        "workers": max_workers,
+        "speedup": dag_seq / dag_par,
+    }));
+
+    // --- PR 3: concurrent serving sessions, end to end -------------------
+    // N identical queries (generate + execute) through engine sessions.
+    // The baseline is the pre-engine batch-of-one behaviour: one session
+    // thread, a cold private artifact store per query (every
+    // `StandardRuntime::new` used to recompute the mapping run). The
+    // measured row serves the same load through max-worker sessions over
+    // the scenario's shared store. `single_thread_median_ms` isolates the
+    // store-sharing win from thread scaling.
+    let serve_queries = 8usize;
+    let serve_query = "Identify the impact at a country level due to SeaMeWe-5 cable failure";
+    let serve_batch_of_one = median_ms(3, || {
+        benchkit::serve_sessions(&scenario, serve_query, serve_queries, false, 1)
+    });
+    let serve_shared_seq = median_ms(3, || {
+        benchkit::serve_sessions(&scenario, serve_query, serve_queries, true, 1)
+    });
+    let serve_shared_par = median_ms(3, || {
+        benchkit::serve_sessions(&scenario, serve_query, serve_queries, true, max_workers)
+    });
+    benchmarks.push(json!({
+        "id": "engine/concurrent_sessions",
+        "median_ms": serve_shared_par,
+        "baseline": "batch-of-one serving: cold artifact store per query, single session thread",
+        "baseline_median_ms": serve_batch_of_one,
+        "single_thread_median_ms": serve_shared_seq,
+        "queries": serve_queries,
+        "session_threads": max_workers,
+        "speedup": serve_batch_of_one / serve_shared_par,
+        "thread_scaling": serve_shared_seq / serve_shared_par,
+    }));
+
     let report = json!({
-        "pr": 2,
+        "pr": 3,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

@@ -229,7 +229,7 @@ fn cs4() {
         .outputs
         .values()
         .next()
-        .and_then(|v| serde_json::from_value(v.value.clone()).ok());
+        .and_then(|v| v.parse().ok());
     if let Some(v) = verdict {
         println!(
             "  negative control (congestion only): cable_caused={} — {}",

@@ -126,14 +126,17 @@ pub fn padded_registry(n: usize) -> registry::Registry {
     r
 }
 
-/// E6: ensemble consensus for a case-study query.
+/// E6: ensemble consensus for a case-study query. Members generate
+/// through a serving-engine session (sharing one epoch snapshot).
 pub fn ensemble_consensus(case: CaseStudy, n: usize) -> (f64, Vec<(String, f64)>) {
-    let scenario = case.scenario();
+    let engine = arachnet_repro::case_study_engine(case);
+    let session = engine
+        .session(&format!("cs{}", case.index()))
+        .expect("scenario registered by case_study_engine");
+    let scenario = session.scenario();
     let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
     let context = catalog::query_context(&scenario.world, scenario.now, horizon_days);
-    let model = DeterministicExpertModel::new();
-    let system = ArachNet::new(&model, case.registry());
-    let report = ensemble::generate_ensemble(&system, case.query(), &context, n)
+    let report = ensemble::generate_ensemble(&session, case.query(), &context, n)
         .expect("ensemble generation succeeds");
     let agreements = report
         .agreements
@@ -175,6 +178,128 @@ pub fn curation_experiment() -> CurationExperiment {
     }
 }
 
+// -- PR 3 serving benchmarks -------------------------------------------------
+
+/// A CPU-bound toy runtime for executor benchmarks: every `work.unit`
+/// call burns a deterministic number of hash rounds; `work.mix` folds its
+/// inputs. Deterministic, allocation-light, embarrassingly parallel.
+pub struct BusyRuntime {
+    /// Hash rounds per `work.unit` invocation.
+    pub rounds: u64,
+}
+
+impl workflow::ToolRuntime for BusyRuntime {
+    fn invoke(
+        &self,
+        function: &registry::FunctionId,
+        args: &std::collections::BTreeMap<String, workflow::Value>,
+    ) -> Result<workflow::Value, workflow::ToolError> {
+        use registry::DataFormat;
+        match function.0.as_str() {
+            "work.unit" => {
+                let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+                for i in 0..self.rounds {
+                    acc = acc.wrapping_mul(0x100_0000_01B3).rotate_left(17) ^ i;
+                }
+                Ok(workflow::Value::new(
+                    DataFormat::Scalar,
+                    serde_json::json!(acc % 1_000_000),
+                ))
+            }
+            "work.mix" => {
+                let mut total: i64 = 0;
+                for v in args.values() {
+                    total = total.wrapping_add(v.json().as_i64().unwrap_or(0));
+                }
+                Ok(workflow::Value::new(DataFormat::Scalar, serde_json::json!(total)))
+            }
+            _ => Err(workflow::ToolError::Unbound(function.clone())),
+        }
+    }
+}
+
+/// A fan-out/fan-in DAG workload: `width` independent `work.unit` steps
+/// feeding one `work.mix` reduction — the shape the parallel executor is
+/// built for. Returns the registry and the workflow.
+pub fn exec_dag_workload(width: usize) -> (registry::Registry, workflow::Workflow) {
+    use registry::{CapabilityEntry, DataFormat, Param};
+    let mut r = registry::Registry::new();
+    r.register(CapabilityEntry::new("work.unit", "work", "burns CPU", vec![], DataFormat::Scalar))
+        .expect("unique");
+    let inputs: Vec<Param> =
+        (0..width).map(|i| Param::optional(&format!("d{i}"), DataFormat::Scalar)).collect();
+    r.register(CapabilityEntry::new("work.mix", "work", "folds inputs", inputs, DataFormat::Scalar))
+        .expect("unique");
+
+    let mut wf = workflow::Workflow::new("exec-dag", "synthetic fan-out");
+    for i in 0..width {
+        wf.push(workflow::Step::new(&format!("u{i:02}"), "work.unit"));
+    }
+    let mut mix = workflow::Step::new("mix", "work.mix");
+    for i in 0..width {
+        mix = mix.bind_step(&format!("d{i}"), &format!("u{i:02}"));
+    }
+    wf.push(mix);
+    (r, wf.with_output("mix"))
+}
+
+/// Serves `queries` identical queries end-to-end (generate + execute)
+/// through a fresh engine with at most `threads` sessions in flight.
+///
+/// With `shared_store` the queries hit one scenario key, so every session
+/// shares that scenario's artifact store (the engine's serving model);
+/// without it each query gets its own key and therefore a cold private
+/// store — the pre-engine batch-of-one behaviour, where every
+/// `StandardRuntime::new` recomputed the mapping run from scratch.
+///
+/// Returns the total output count as a black-box guard.
+pub fn serve_sessions(
+    scenario: &world::Scenario,
+    query: &str,
+    queries: usize,
+    shared_store: bool,
+    threads: usize,
+) -> usize {
+    let engine = arachnet::Engine::new(
+        std::sync::Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    );
+    let keys: Vec<String> = if shared_store {
+        engine.register_scenario("shared", scenario.clone());
+        vec!["shared".to_string(); queries]
+    } else {
+        (0..queries)
+            .map(|i| {
+                let key = format!("cold{i}");
+                engine.register_scenario(&key, scenario.clone());
+                key
+            })
+            .collect()
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let outputs = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.clamp(1, keys.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(key) = keys.get(i) else { return };
+                let session = engine.session(key).expect("registered");
+                let scenario = session.scenario();
+                let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+                let context =
+                    catalog::query_context(&scenario.world, scenario.now, horizon_days);
+                let run = session.run(query, &context).expect("query serves");
+                assert!(run.report.all_ok(), "qa: {:?}", run.report.qa);
+                outputs.fetch_add(
+                    run.report.outputs.len(),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            });
+        }
+    });
+    outputs.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +308,31 @@ mod tests {
     fn padded_registry_grows() {
         let base = catalog::standard_registry().len();
         assert_eq!(padded_registry(10).len(), base + 10);
+    }
+
+    #[test]
+    fn exec_dag_workload_runs_identically_at_any_width() {
+        let (registry, wf) = exec_dag_workload(6);
+        let runtime = BusyRuntime { rounds: 10 };
+        let args = std::collections::BTreeMap::new();
+        let one = workflow::execute_with(
+            &wf, &registry, &runtime, &args,
+            &workflow::ExecOptions { workers: 1 },
+        );
+        let many = workflow::execute_with(
+            &wf, &registry, &runtime, &args,
+            &workflow::ExecOptions { workers: 8 },
+        );
+        assert!(one.all_ok());
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn concurrent_sessions_serve_all_queries() {
+        let scenario = toolkit::scenarios::cs1_scenario();
+        let query = "Identify the impact at a country level due to SeaMeWe-5 cable failure";
+        assert_eq!(serve_sessions(&scenario, query, 2, true, 2), 2);
+        assert_eq!(serve_sessions(&scenario, query, 2, false, 1), 2);
     }
 
     #[test]

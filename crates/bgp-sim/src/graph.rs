@@ -117,6 +117,18 @@ impl AsGraph {
         AsGraph { asns, index, offsets, nbr_index, nbr_kind }
     }
 
+    /// Whether two graphs describe the identical topology (same nodes,
+    /// same CSR adjacency, same relationship kinds). Routing — and
+    /// therefore any RIB snapshot — is a pure function of the topology,
+    /// so equal graphs let callers memoize routing state across scenario
+    /// events that did not change connectivity.
+    pub fn same_topology(&self, other: &AsGraph) -> bool {
+        self.asns == other.asns
+            && self.offsets == other.offsets
+            && self.nbr_index == other.nbr_index
+            && self.nbr_kind == other.nbr_kind
+    }
+
     /// All nodes, ascending.
     pub fn nodes(&self) -> impl Iterator<Item = Asn> + '_ {
         self.asns.iter().copied()

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 use net_model::{Asn, Ipv4Net, SimTime};
 use serde::{Deserialize, Serialize};
-use world::Scenario;
+use world::{Scenario, World};
 
 use crate::graph::AsGraph;
 use crate::routing::RoutingTable;
@@ -45,12 +45,25 @@ impl RibSnapshot {
     /// and reused for every prefix that origin announces.
     pub fn capture(scenario: &Scenario, peers: &[Asn], t: SimTime) -> RibSnapshot {
         let graph = AsGraph::at_time(scenario, t);
-        let routing = RoutingTable::compute(&graph, &scenario.world);
+        Self::capture_from_graph(&scenario.world, &graph, peers, t)
+    }
+
+    /// Captures the snapshot for a pre-built AS graph. Routing is a pure
+    /// function of the topology, so callers diffing many instants (e.g.
+    /// `derive_updates`) can compare graphs first and skip captures
+    /// entirely when connectivity did not change.
+    pub fn capture_from_graph(
+        world: &World,
+        graph: &AsGraph,
+        peers: &[Asn],
+        t: SimTime,
+    ) -> RibSnapshot {
+        let routing = RoutingTable::compute(graph, world);
         let mut entries = Vec::new();
         let mut paths: BTreeMap<Asn, Option<Vec<Asn>>> = BTreeMap::new();
         for peer in peers {
             paths.clear();
-            for pfx in &scenario.world.prefixes {
+            for pfx in &world.prefixes {
                 let path = paths
                     .entry(pfx.origin)
                     .or_insert_with(|| routing.route(*peer, pfx.origin).map(|r| r.as_path));

@@ -62,12 +62,27 @@ pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
     peers.dedup();
     let peers = &peers[..];
 
-    let mut prev = RibSnapshot::capture(scenario, peers, scenario.horizon.start);
+    // RIB snapshots are memoized across events: a capture is one full
+    // routing run plus per-(peer, origin) path materialization (the
+    // dominant cost centre once routing went dense), but routing state is
+    // a pure function of the AS-graph topology. Events that leave
+    // connectivity untouched (congestion surges, cuts on already-dead
+    // cables, sub-threshold disasters) reuse the previous snapshot and
+    // produce no diff, instead of recomputing one capture per event.
+    let world = &scenario.world;
+    let mut prev_graph = crate::graph::AsGraph::at_time(scenario, scenario.horizon.start);
+    let mut prev =
+        RibSnapshot::capture_from_graph(world, &prev_graph, peers, scenario.horizon.start);
     for (at, _) in timeline {
         let after_t = SimTime(at.0 + 1);
-        let next = RibSnapshot::capture(scenario, peers, after_t);
+        let graph = crate::graph::AsGraph::at_time(scenario, after_t);
+        if graph.same_topology(&prev_graph) {
+            continue;
+        }
+        let next = RibSnapshot::capture_from_graph(world, &graph, peers, after_t);
         diff_into(scenario, &prev, &next, at, &mut updates);
         prev = next;
+        prev_graph = graph;
     }
 
     updates.sort_by_key(|a| (a.time, a.peer, a.prefix));
@@ -249,6 +264,43 @@ mod tests {
         let mut with_dups = peers.clone();
         with_dups.extend(peers.iter().take(5).copied());
         assert_eq!(derive_updates(&s, &with_dups), canonical);
+    }
+
+    #[test]
+    fn topology_neutral_events_produce_no_updates_and_skip_captures() {
+        let world = generate(&WorldConfig::default());
+        let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+        let cut = SimTime::EPOCH + SimDuration::days(5);
+        let peers: Vec<Asn> = world.ases.iter().take(20).map(|a| a.asn).collect();
+
+        // Baseline: just the cut.
+        let base = Scenario::quiet(world.clone(), 10)
+            .with_event(EventKind::CableCut { cable }, cut);
+        let canonical = derive_updates(&base, &peers);
+        assert!(!canonical.is_empty());
+
+        // The same cut plus congestion surges (no connectivity change) —
+        // the memoized path must skip those events and emit the identical
+        // stream.
+        let noisy = Scenario::quiet(world, 10)
+            .with_event(
+                EventKind::CongestionSurge {
+                    from: net_model::Region::Europe,
+                    to: net_model::Region::Asia,
+                    extra_ms: 40.0,
+                },
+                SimTime::EPOCH + SimDuration::days(2),
+            )
+            .with_event(EventKind::CableCut { cable }, cut)
+            .with_event(
+                EventKind::CongestionSurge {
+                    from: net_model::Region::NorthAmerica,
+                    to: net_model::Region::Europe,
+                    extra_ms: 25.0,
+                },
+                SimTime::EPOCH + SimDuration::days(7),
+            );
+        assert_eq!(derive_updates(&noisy, &peers), canonical);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The serving engine: sessions, registry epochs, shared artifacts.
+//!
+//! [`ArachNet`] is a batch-of-one API — one borrowed model, one owned
+//! registry, `&mut self` curation that blocks everything else. The
+//! [`Engine`] is the concurrent serving redesign on top of the same
+//! pipeline:
+//!
+//! * the registry is published as immutable **epochs** (`Arc<Registry>`
+//!   snapshots with a sequence number). Sessions pin the epoch they were
+//!   opened under; [`Engine::curate`] takes `&self`, builds the next
+//!   registry off-line and swaps the epoch pointer — in-flight sessions
+//!   are never blocked and never observe a half-curated registry;
+//! * measurement artifacts live in per-scenario [`ArtifactStore`]s shared
+//!   by every session of that scenario (and across epochs): the mapping
+//!   run, the BGP update stream, probe campaigns are computed once per
+//!   dataset, not once per query;
+//! * a [`Session`] generates and executes any number of queries, from any
+//!   thread (`Session: Send + Sync`) — execution itself fans out over the
+//!   workflow DAG via [`workflow::execute_with`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use llm::protocol::{QueryContext, WorkflowSummary};
+use llm::LanguageModel;
+use parking_lot::{Mutex, RwLock};
+use registry::Registry;
+use toolkit::{ArtifactStore, StandardRuntime};
+use workflow::{execute_with, ExecOptions, ExecutionReport, Value, Workflow};
+use world::Scenario;
+
+use crate::agents::AgentConfig;
+use crate::orchestrator::{
+    run_curation, run_pipeline, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError,
+};
+
+/// One immutable registry snapshot, tagged with its publication sequence.
+#[derive(Debug)]
+pub struct RegistryEpoch {
+    /// Monotonic publication counter (0 is the bootstrap registry).
+    pub sequence: u64,
+    /// The registry as of this epoch.
+    pub registry: Arc<Registry>,
+}
+
+/// Everything a scenario's sessions share.
+#[derive(Clone)]
+struct ScenarioSlot {
+    scenario: Arc<Scenario>,
+    artifacts: Arc<ArtifactStore>,
+}
+
+/// The serving engine. Cheap to share (`&Engine` is all a session needs
+/// to open) and safe to curate while queries are in flight.
+pub struct Engine {
+    model: Arc<dyn LanguageModel>,
+    config: AgentConfig,
+    max_repairs: usize,
+    workers: usize,
+    epoch: RwLock<Arc<RegistryEpoch>>,
+    /// Serializes curation passes; the epoch swap itself is the only
+    /// write-lock the readers ever contend with.
+    curation: Mutex<()>,
+    scenarios: Mutex<BTreeMap<String, ScenarioSlot>>,
+}
+
+impl Engine {
+    /// Builds the engine over a model and the bootstrap registry
+    /// (published as epoch 0).
+    pub fn new(model: Arc<dyn LanguageModel>, registry: Registry) -> Engine {
+        Engine {
+            model,
+            config: AgentConfig::default(),
+            max_repairs: 2,
+            workers: workflow::exec::default_workers(),
+            epoch: RwLock::new(Arc::new(RegistryEpoch {
+                sequence: 0,
+                registry: Arc::new(registry),
+            })),
+            curation: Mutex::new(()),
+            scenarios: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Overrides the per-session executor worker count.
+    pub fn with_exec_workers(mut self, workers: usize) -> Engine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Arc<RegistryEpoch> {
+        Arc::clone(&self.epoch.read())
+    }
+
+    /// The current epoch's registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.epoch.read().registry)
+    }
+
+    /// Registers a scenario under `key` (idempotent: an existing slot —
+    /// and its artifact store — is kept). Returns the shared scenario.
+    pub fn register_scenario(&self, key: &str, scenario: Scenario) -> Arc<Scenario> {
+        let mut scenarios = self.scenarios.lock();
+        let slot = scenarios.entry(key.to_string()).or_insert_with(|| ScenarioSlot {
+            scenario: Arc::new(scenario),
+            artifacts: Arc::new(ArtifactStore::new()),
+        });
+        Arc::clone(&slot.scenario)
+    }
+
+    /// Scenario keys currently registered.
+    pub fn scenario_keys(&self) -> Vec<String> {
+        self.scenarios.lock().keys().cloned().collect()
+    }
+
+    /// Opens a session against a registered scenario. The session pins
+    /// the *current* epoch and the scenario's shared artifact store.
+    pub fn session(&self, scenario_key: &str) -> Result<Session, PipelineError> {
+        let slot = self.scenarios.lock().get(scenario_key).cloned().ok_or_else(|| {
+            PipelineError::Invalid(format!("unknown scenario {scenario_key:?}"))
+        })?;
+        Ok(Session {
+            model: Arc::clone(&self.model),
+            config: self.config.clone(),
+            max_repairs: self.max_repairs,
+            epoch: self.epoch(),
+            scenario: slot.scenario,
+            artifacts: slot.artifacts,
+            workers: self.workers,
+        })
+    }
+
+    /// Runs RegistryCurator over a corpus of workflow summaries and — when
+    /// it mined anything — publishes the grown registry as a **new
+    /// epoch**. Takes `&self`: in-flight sessions keep executing against
+    /// the epoch they pinned; only sessions opened afterwards see the
+    /// composites.
+    pub fn curate(
+        &self,
+        corpus: &[WorkflowSummary],
+        min_uses: usize,
+    ) -> Result<CurationOutcome, PipelineError> {
+        let _pass = self.curation.lock();
+        let current = self.epoch();
+        let mut next = (*current.registry).clone();
+        let outcome =
+            run_curation(&*self.model, &self.config, &mut next, corpus, min_uses)?;
+        if !outcome.added.is_empty() {
+            *self.epoch.write() = Arc::new(RegistryEpoch {
+                sequence: current.sequence + 1,
+                registry: Arc::new(next),
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+/// A generated-and-executed query, as a session returns it.
+pub struct SessionRun {
+    pub solution: GeneratedSolution,
+    pub report: ExecutionReport,
+}
+
+/// One serving session: an epoch-pinned registry snapshot plus a shared
+/// scenario. Sessions are `Send + Sync` — run many queries from many
+/// threads against one session, or one query per session; the artifact
+/// store underneath is shared either way.
+pub struct Session {
+    model: Arc<dyn LanguageModel>,
+    config: AgentConfig,
+    max_repairs: usize,
+    epoch: Arc<RegistryEpoch>,
+    scenario: Arc<Scenario>,
+    artifacts: Arc<ArtifactStore>,
+    workers: usize,
+}
+
+impl Session {
+    /// The epoch this session pinned at open time.
+    pub fn epoch_sequence(&self) -> u64 {
+        self.epoch.sequence
+    }
+
+    /// The pinned registry snapshot.
+    pub fn registry(&self) -> &Registry {
+        &self.epoch.registry
+    }
+
+    /// The scenario under measurement.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// A tool runtime over this session's scenario and shared artifacts —
+    /// useful for executing externally supplied workflows (e.g. expert
+    /// baselines) against the same cache.
+    pub fn runtime(&self) -> StandardRuntime {
+        StandardRuntime::shared(Arc::clone(&self.scenario), Arc::clone(&self.artifacts))
+    }
+
+    /// Generates a solution for a query (standard mode).
+    pub fn generate(
+        &self,
+        query: &str,
+        context: &QueryContext,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        self.generate_variant(query, context, 0)
+    }
+
+    /// Variant-seeded generation (ensemble machinery).
+    pub fn generate_variant(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        run_pipeline(
+            &*self.model,
+            &self.config,
+            self.max_repairs,
+            &self.epoch.registry,
+            query,
+            context,
+            variant,
+            &ExpertHooks::default(),
+        )
+    }
+
+    /// Expert mode: hooks run between pipeline stages.
+    pub fn generate_expert(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        hooks: &ExpertHooks,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        run_pipeline(
+            &*self.model,
+            &self.config,
+            self.max_repairs,
+            &self.epoch.registry,
+            query,
+            context,
+            0,
+            hooks,
+        )
+    }
+
+    /// Executes a workflow against the session's scenario, shared
+    /// artifacts and pinned registry.
+    pub fn execute(
+        &self,
+        workflow: &Workflow,
+        query_args: &BTreeMap<String, Value>,
+    ) -> ExecutionReport {
+        execute_with(
+            workflow,
+            &self.epoch.registry,
+            &self.runtime(),
+            query_args,
+            &ExecOptions { workers: self.workers },
+        )
+    }
+
+    /// Generates and executes in one call — the serving hot path.
+    pub fn run(&self, query: &str, context: &QueryContext) -> Result<SessionRun, PipelineError> {
+        let solution = self.generate(query, context)?;
+        let report = self.execute(&solution.workflow, &solution.query_args());
+        Ok(SessionRun { solution, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm::DeterministicExpertModel;
+    use registry::{CapabilityEntry, DataFormat, Param};
+    use toolkit::{catalog, scenarios};
+
+    fn mini_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(CapabilityEntry::new(
+            "util.compile_disasters",
+            "util",
+            "compiles disaster specs into failure events",
+            vec![
+                Param::required("disasters", DataFormat::DisasterSpecs),
+                Param::required("failure_probability", DataFormat::Scalar),
+            ],
+            DataFormat::FailureEventSpec,
+        ))
+        .unwrap();
+        r.register(CapabilityEntry::new(
+            "xaminer.event_impact",
+            "xaminer",
+            "processes failure events into a country impact table",
+            vec![Param::required("event", DataFormat::FailureEventSpec)],
+            DataFormat::CountryImpactTable,
+        ))
+        .unwrap();
+        r
+    }
+
+    fn context(scenario: &Scenario) -> QueryContext {
+        catalog::query_context(&scenario.world, scenario.now, 10)
+    }
+
+    const CS2_QUERY: &str = "Identify the impact of severe earthquakes and hurricanes \
+                             globally assuming a 10% infra failure probability";
+
+    fn engine() -> Engine {
+        let engine =
+            Engine::new(Arc::new(DeterministicExpertModel::new()), mini_registry());
+        engine.register_scenario("cs2", scenarios::cs2_scenario());
+        engine
+    }
+
+    #[test]
+    fn session_generates_and_executes_end_to_end() {
+        let engine = engine();
+        let session = engine.session("cs2").unwrap();
+        let ctx = context(session.scenario());
+        let run = session.run(CS2_QUERY, &ctx).unwrap();
+        assert!(run.report.all_ok(), "qa: {:?}", run.report.qa);
+        assert!(!run.report.outputs.is_empty());
+        assert_eq!(session.epoch_sequence(), 0);
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_invalid_request() {
+        let engine = engine();
+        assert!(matches!(engine.session("nope"), Err(PipelineError::Invalid(_))));
+    }
+
+    #[test]
+    fn curation_publishes_a_new_epoch_without_touching_open_sessions() {
+        let engine = engine();
+        let old_session = engine.session("cs2").unwrap();
+        let ctx = context(old_session.scenario());
+        let solution = old_session.generate(CS2_QUERY, &ctx).unwrap();
+        let corpus = vec![solution.summary(true), solution.summary(true)];
+
+        let before = engine.registry().len();
+        let outcome = engine.curate(&corpus, 2).unwrap();
+        assert_eq!(outcome.added.len(), 1, "rejected: {:?}", outcome.rejected);
+
+        // The engine advanced...
+        assert_eq!(engine.epoch().sequence, 1);
+        assert_eq!(engine.registry().len(), before + 1);
+        // ...but the open session still pins epoch 0 and keeps working.
+        assert_eq!(old_session.epoch_sequence(), 0);
+        assert_eq!(old_session.registry().len(), before);
+        assert!(old_session.run(CS2_QUERY, &ctx).unwrap().report.all_ok());
+
+        // A fresh session sees (and can execute) the mined composite.
+        let new_session = engine.session("cs2").unwrap();
+        assert_eq!(new_session.epoch_sequence(), 1);
+        let composite = &outcome.added[0];
+        assert!(new_session.registry().contains(composite));
+        let s2 = new_session.generate(CS2_QUERY, &ctx).unwrap();
+        assert!(
+            s2.workflow.steps.len() <= solution.workflow.steps.len(),
+            "curated epoch should not grow the plan ({} vs {})",
+            s2.workflow.steps.len(),
+            solution.workflow.steps.len()
+        );
+        assert!(new_session.run(CS2_QUERY, &ctx).unwrap().report.all_ok());
+    }
+
+    #[test]
+    fn curation_without_new_composites_keeps_the_epoch() {
+        let engine = engine();
+        let session = engine.session("cs2").unwrap();
+        let ctx = context(session.scenario());
+        let solution = session.generate(CS2_QUERY, &ctx).unwrap();
+        let corpus = vec![solution.summary(true), solution.summary(true)];
+        engine.curate(&corpus, 2).unwrap();
+        assert_eq!(engine.epoch().sequence, 1);
+        // Second pass mines nothing new → no epoch churn.
+        engine.curate(&corpus, 2).unwrap();
+        assert_eq!(engine.epoch().sequence, 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_artifacts_and_agree_with_sequential() {
+        let engine = engine();
+        let session = engine.session("cs2").unwrap();
+        let ctx = context(session.scenario());
+        let sequential = session.run(CS2_QUERY, &ctx).unwrap();
+
+        // Eight concurrent sessions, one query each.
+        let runs: Vec<SessionRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = &engine;
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        engine.session("cs2").unwrap().run(CS2_QUERY, ctx).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for run in &runs {
+            assert_eq!(run.solution.source_code, sequential.solution.source_code);
+            assert_eq!(run.report, sequential.report);
+        }
+        // The scenario's store served every session; the expensive
+        // artifacts were built once, not once per session.
+        let store_len = engine.session("cs2").unwrap().runtime().artifacts().len();
+        assert_eq!(store_len, 2, "mapping + default_deps, shared across sessions");
+    }
+}

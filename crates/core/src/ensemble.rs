@@ -11,7 +11,43 @@ use std::collections::BTreeMap;
 
 use llm::protocol::QueryContext;
 
+use crate::engine::Session;
 use crate::orchestrator::{ArachNet, GeneratedSolution, PipelineError};
+
+/// Anything that can produce variant-seeded solutions — the legacy
+/// [`ArachNet`] facade or a serving-engine [`Session`] (so ensemble
+/// members run through engine sessions and share the epoch snapshot).
+pub trait SolutionSource: Sync {
+    /// Generates the `variant`-seeded solution for a query.
+    fn generate_variant(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+    ) -> Result<GeneratedSolution, PipelineError>;
+}
+
+impl SolutionSource for ArachNet<'_> {
+    fn generate_variant(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        ArachNet::generate_variant(self, query, context, variant)
+    }
+}
+
+impl SolutionSource for Session {
+    fn generate_variant(
+        &self,
+        query: &str,
+        context: &QueryContext,
+        variant: u64,
+    ) -> Result<GeneratedSolution, PipelineError> {
+        Session::generate_variant(self, query, context, variant)
+    }
+}
 
 /// Per-function agreement across the ensemble.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,14 +85,19 @@ impl EnsembleReport {
     }
 }
 
-/// Runs `n` independent generations and scores their consensus.
-pub fn generate_ensemble(
-    system: &ArachNet<'_>,
+/// Runs `n` independent generations and scores their consensus. The
+/// source may be the legacy [`ArachNet`] facade or an engine [`Session`].
+pub fn generate_ensemble<S: SolutionSource + ?Sized>(
+    system: &S,
     query: &str,
     context: &QueryContext,
     n: usize,
 ) -> Result<EnsembleReport, PipelineError> {
-    assert!(n >= 1, "ensemble needs at least one member");
+    if n == 0 {
+        return Err(PipelineError::Invalid(
+            "ensemble needs at least one member".to_string(),
+        ));
+    }
 
     // Parallel generation: each variant is independent and deterministic.
     let mut results: Vec<Option<Result<GeneratedSolution, PipelineError>>> =
@@ -202,6 +243,47 @@ mod tests {
         assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(jaccard(&a, &[]), 0.0);
         assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn empty_ensemble_is_an_invalid_request() {
+        let model = DeterministicExpertModel::new();
+        let system = ArachNet::new(&model, mini_registry());
+        let err = generate_ensemble(
+            &system,
+            "Identify the impact of severe earthquakes globally assuming a 10% infra \
+             failure probability",
+            &context(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Invalid(_)), "got {err}");
+    }
+
+    #[test]
+    fn ensemble_runs_through_engine_sessions() {
+        use crate::engine::Engine;
+        use std::sync::Arc;
+
+        let engine =
+            Engine::new(Arc::new(DeterministicExpertModel::new()), mini_registry());
+        engine.register_scenario("cs2", toolkit::scenarios::cs2_scenario());
+        let session = engine.session("cs2").unwrap();
+        let query = "Identify the impact of severe earthquakes globally assuming a 10% \
+                     infra failure probability";
+        let report = generate_ensemble(&session, query, &context(), 4).unwrap();
+        assert_eq!(report.solutions.len(), 4);
+        assert!((report.consensus - 1.0).abs() < 1e-9);
+
+        // Identical to the legacy facade over the same registry.
+        let model = DeterministicExpertModel::new();
+        let system = ArachNet::new(&model, mini_registry());
+        let legacy = generate_ensemble(&system, query, &context(), 4).unwrap();
+        assert_eq!(
+            report.best().source_code,
+            legacy.best().source_code,
+            "session ensembles mirror the facade"
+        );
     }
 
     #[test]

@@ -15,14 +15,21 @@
 //! [`ensemble`] implements the paper's proposed ensemble-confidence
 //! mechanism (§5, Trust & Verification) and [`conflict`] the
 //! conflicting-tool-outputs mitigation (§5).
+//!
+//! For serving many concurrent queries, use the [`engine`] module:
+//! [`Engine`] publishes the registry as immutable epochs and hands out
+//! [`Session`]s that share per-scenario artifact stores — [`ArachNet`]
+//! remains as the thin single-tenant facade over the same pipeline.
 
 pub mod agents;
 pub mod conflict;
+pub mod engine;
 pub mod ensemble;
 pub mod orchestrator;
 
 pub use agents::{AgentConfig, AgentError};
-pub use ensemble::{EnsembleReport, FunctionAgreement};
+pub use engine::{Engine, RegistryEpoch, Session, SessionRun};
+pub use ensemble::{EnsembleReport, FunctionAgreement, SolutionSource};
 pub use orchestrator::{ArachNet, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError};
 
 // Re-export the protocol so downstream users see one coherent API.

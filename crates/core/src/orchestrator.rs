@@ -37,6 +37,9 @@ pub enum PipelineError {
     Agent(AgentError),
     /// The generated workflow failed validation even after repair rounds.
     Validation { errors: Vec<String>, repair_attempts: usize },
+    /// The request itself was invalid (empty ensemble, unknown scenario
+    /// key, …) — a caller error, not an agent failure.
+    Invalid(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -48,6 +51,7 @@ impl std::fmt::Display for PipelineError {
                 "workflow failed validation after {repair_attempts} repair attempt(s): {}",
                 errors.join("; ")
             ),
+            PipelineError::Invalid(message) => write!(f, "invalid request: {message}"),
         }
     }
 }
@@ -166,63 +170,16 @@ impl<'m> ArachNet<'m> {
         variant: u64,
         hooks: &ExpertHooks,
     ) -> Result<GeneratedSolution, PipelineError> {
-        // Stage 1: QueryMind.
-        let querymind = QueryMind::new(self.model, self.config.clone());
-        let mut decomposition = querymind.run(query, context, &self.registry)?;
-        if let Some(hook) = &hooks.adjust_decomposition {
-            decomposition = hook(decomposition);
-        }
-
-        // Stage 2: WorkflowScout.
-        let scout = WorkflowScout::new(self.model, self.config.clone());
-        let mut architecture = scout.run(&decomposition, &self.registry, variant)?;
-        if let Some(hook) = &hooks.adjust_architecture {
-            architecture = hook(architecture);
-        }
-
-        // Stage 3: SolutionWeaver, with a validation-repair loop.
-        let weaver = SolutionWeaver::new(self.model, self.config.clone());
-        let mut feedback: Vec<String> = Vec::new();
-        let mut repair_attempts = 0usize;
-        let (workflow, implementation) = loop {
-            let implementation =
-                weaver.run(&decomposition, &architecture, &self.registry, feedback.clone())?;
-            let wf = to_workflow(query, &decomposition, &implementation);
-            let errors = check(&wf, &self.registry);
-            if errors.is_empty() {
-                break (wf, implementation);
-            }
-            repair_attempts += 1;
-            if repair_attempts > self.max_repairs {
-                return Err(PipelineError::Validation {
-                    errors: errors.iter().map(|e| e.to_string()).collect(),
-                    repair_attempts,
-                });
-            }
-            feedback = errors.iter().map(|e| e.to_string()).collect();
-        };
-
-        let source_code = to_source(&workflow, &self.registry);
-        let loc = workflow::loc(&source_code);
-        let frameworks = workflow.frameworks_used(&self.registry);
-        let expert_notes = hooks
-            .review_workflow
-            .as_ref()
-            .map(|hook| hook(&workflow))
-            .unwrap_or_default();
-
-        Ok(GeneratedSolution {
-            query: query.to_string(),
-            decomposition,
-            architecture,
-            workflow,
-            source_code,
-            loc,
-            frameworks,
-            qa_measures: implementation.qa_measures,
-            repair_attempts,
-            expert_notes,
-        })
+        run_pipeline(
+            self.model,
+            &self.config,
+            self.max_repairs,
+            &self.registry,
+            query,
+            context,
+            variant,
+            hooks,
+        )
     }
 
     /// Stage 4: RegistryCurator. Validated composites are registered;
@@ -232,62 +189,151 @@ impl<'m> ArachNet<'m> {
         corpus: &[WorkflowSummary],
         min_uses: usize,
     ) -> Result<CurationOutcome, PipelineError> {
-        let curator = RegistryCurator::new(self.model, self.config.clone());
-        let proposal = curator.run(corpus, &self.registry, min_uses)?;
-
-        let mut outcome = CurationOutcome {
-            rejected: proposal.rejected.clone(),
-            ..Default::default()
-        };
-        for composite in proposal.composites {
-            let sequence: Vec<FunctionId> =
-                composite.sequence.iter().map(|s| FunctionId::from(s.as_str())).collect();
-            // Derive the composite's signature from its parts: the inputs
-            // of the whole chain that are not satisfied internally, and the
-            // final function's output.
-            let Some(last) = sequence.last().and_then(|id| self.registry.get(id)) else {
-                outcome
-                    .rejected
-                    .push((composite.id.clone(), "sequence references unknown functions".into()));
-                continue;
-            };
-            let output = last.output;
-            let mut inputs: Vec<registry::Param> = Vec::new();
-            let mut produced: Vec<DataFormat> = Vec::new();
-            for fid in &sequence {
-                let entry = self.registry.get(fid).expect("validated in curate()");
-                for p in entry.required_inputs() {
-                    let satisfied_internally =
-                        produced.iter().any(|f| f.compatible_with(p.format));
-                    let already_declared = inputs.iter().any(|q| q.name == p.name);
-                    if !satisfied_internally && !already_declared {
-                        inputs.push(p.clone());
-                    }
-                }
-                produced.push(entry.output);
-            }
-            let entry = CapabilityEntry {
-                id: FunctionId::from(composite.id.as_str()),
-                framework: "composite".to_string(),
-                capability: composite.capability.clone(),
-                inputs,
-                output,
-                constraints: vec![format!(
-                    "mined from {} successful workflow(s)",
-                    composite.observed_uses
-                )],
-                tags: vec!["composite".into(), "curated".into()],
-                cost: registry::CostClass::Moderate,
-                reliability: 0.85,
-                implementation: Implementation::Composite { sequence },
-            };
-            match self.registry.register(entry) {
-                Ok(()) => outcome.added.push(FunctionId::from(composite.id.as_str())),
-                Err(e) => outcome.rejected.push((composite.id.clone(), e.to_string())),
-            }
-        }
-        Ok(outcome)
+        run_curation(self.model, &self.config, &mut self.registry, corpus, min_uses)
     }
+}
+
+/// The three-agent generation pipeline over an explicit registry snapshot.
+///
+/// This is the shared core behind [`ArachNet::generate`] and the serving
+/// engine's sessions: the registry is read-only for the whole run, so any
+/// number of pipelines can execute concurrently against one shared
+/// (epoch) snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline(
+    model: &dyn LanguageModel,
+    config: &AgentConfig,
+    max_repairs: usize,
+    registry: &Registry,
+    query: &str,
+    context: &QueryContext,
+    variant: u64,
+    hooks: &ExpertHooks,
+) -> Result<GeneratedSolution, PipelineError> {
+    // Stage 1: QueryMind.
+    let querymind = QueryMind::new(model, config.clone());
+    let mut decomposition = querymind.run(query, context, registry)?;
+    if let Some(hook) = &hooks.adjust_decomposition {
+        decomposition = hook(decomposition);
+    }
+
+    // Stage 2: WorkflowScout.
+    let scout = WorkflowScout::new(model, config.clone());
+    let mut architecture = scout.run(&decomposition, registry, variant)?;
+    if let Some(hook) = &hooks.adjust_architecture {
+        architecture = hook(architecture);
+    }
+
+    // Stage 3: SolutionWeaver, with a validation-repair loop.
+    let weaver = SolutionWeaver::new(model, config.clone());
+    let mut feedback: Vec<String> = Vec::new();
+    let mut repair_attempts = 0usize;
+    let (workflow, implementation) = loop {
+        let implementation =
+            weaver.run(&decomposition, &architecture, registry, feedback.clone())?;
+        let wf = to_workflow(query, &decomposition, &implementation);
+        let errors = check(&wf, registry);
+        if errors.is_empty() {
+            break (wf, implementation);
+        }
+        repair_attempts += 1;
+        if repair_attempts > max_repairs {
+            return Err(PipelineError::Validation {
+                errors: errors.iter().map(|e| e.to_string()).collect(),
+                repair_attempts,
+            });
+        }
+        feedback = errors.iter().map(|e| e.to_string()).collect();
+    };
+
+    let source_code = to_source(&workflow, registry);
+    let loc = workflow::loc(&source_code);
+    let frameworks = workflow.frameworks_used(registry);
+    let expert_notes = hooks
+        .review_workflow
+        .as_ref()
+        .map(|hook| hook(&workflow))
+        .unwrap_or_default();
+
+    Ok(GeneratedSolution {
+        query: query.to_string(),
+        decomposition,
+        architecture,
+        workflow,
+        source_code,
+        loc,
+        frameworks,
+        qa_measures: implementation.qa_measures,
+        repair_attempts,
+        expert_notes,
+    })
+}
+
+/// Runs RegistryCurator against `registry` and registers the validated
+/// composites — the shared core behind [`ArachNet::curate`] and the
+/// engine's epoch-publishing curation.
+pub(crate) fn run_curation(
+    model: &dyn LanguageModel,
+    config: &AgentConfig,
+    registry: &mut Registry,
+    corpus: &[WorkflowSummary],
+    min_uses: usize,
+) -> Result<CurationOutcome, PipelineError> {
+    let curator = RegistryCurator::new(model, config.clone());
+    let proposal = curator.run(corpus, registry, min_uses)?;
+
+    let mut outcome = CurationOutcome {
+        rejected: proposal.rejected.clone(),
+        ..Default::default()
+    };
+    for composite in proposal.composites {
+        let sequence: Vec<FunctionId> =
+            composite.sequence.iter().map(|s| FunctionId::from(s.as_str())).collect();
+        // Derive the composite's signature from its parts: the inputs
+        // of the whole chain that are not satisfied internally, and the
+        // final function's output.
+        let Some(last) = sequence.last().and_then(|id| registry.get(id)) else {
+            outcome
+                .rejected
+                .push((composite.id.clone(), "sequence references unknown functions".into()));
+            continue;
+        };
+        let output = last.output;
+        let mut inputs: Vec<registry::Param> = Vec::new();
+        let mut produced: Vec<DataFormat> = Vec::new();
+        for fid in &sequence {
+            let entry = registry.get(fid).expect("validated in curate()");
+            for p in entry.required_inputs() {
+                let satisfied_internally =
+                    produced.iter().any(|f| f.compatible_with(p.format));
+                let already_declared = inputs.iter().any(|q| q.name == p.name);
+                if !satisfied_internally && !already_declared {
+                    inputs.push(p.clone());
+                }
+            }
+            produced.push(entry.output);
+        }
+        let entry = CapabilityEntry {
+            id: FunctionId::from(composite.id.as_str()),
+            framework: "composite".to_string(),
+            capability: composite.capability.clone(),
+            inputs,
+            output,
+            constraints: vec![format!(
+                "mined from {} successful workflow(s)",
+                composite.observed_uses
+            )],
+            tags: vec!["composite".into(), "curated".into()],
+            cost: registry::CostClass::Moderate,
+            reliability: 0.85,
+            implementation: Implementation::Composite { sequence },
+        };
+        match registry.register(entry) {
+            Ok(()) => outcome.added.push(FunctionId::from(composite.id.as_str())),
+            Err(e) => outcome.rejected.push((composite.id.clone(), e.to_string())),
+        }
+    }
+    Ok(outcome)
 }
 
 /// Converts an implementation plan into the executable workflow IR.

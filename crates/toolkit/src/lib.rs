@@ -26,7 +26,7 @@ pub mod runtime;
 pub mod scenarios;
 
 pub use catalog::{query_context, standard_registry};
-pub use runtime::StandardRuntime;
+pub use runtime::{ArtifactStore, StandardRuntime};
 
 #[cfg(test)]
 mod tests {

@@ -1,36 +1,108 @@
 //! The standard tool runtime: dispatches every catalog function onto the
-//! substrate crates, (de)serializing step values as JSON.
+//! substrate crates.
+//!
+//! Values leave the runtime as **native artifacts** (mapping tables,
+//! dependency tables, BGP update streams, impact tables, campaigns) held
+//! behind `Arc`s — the Arc-shared [`Value`] model projects them to JSON
+//! lazily, only when something actually needs JSON. Arguments come back
+//! through [`Value::view`]: zero-copy when the producing step emitted the
+//! native type, a JSON deserialization otherwise.
 //!
 //! Expensive artifacts (cross-layer mapping, BGP update stream, probe
-//! campaigns) are cached per scenario, exactly as a real deployment would
-//! cache collector downloads and mapping runs.
+//! campaigns) live in an [`ArtifactStore`] keyed per scenario — shareable
+//! across runtimes, sessions and whole engine epochs, exactly as a real
+//! deployment caches collector downloads and mapping runs once per
+//! dataset, not once per query.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use net_model::{CableId, Region, SimDuration, SimTime, TimeWindow};
 use parking_lot::Mutex;
 use registry::{DataFormat as F, FunctionId};
-use workflow::{ToolError, ToolRuntime, TypedValue};
+use workflow::{ToolError, ToolRuntime, Value, ValueView};
 use world::Scenario;
 
 use bgp_sim::{detect_update_bursts, BgpSimulator, BgpUpdate};
-use nautilus_sim::{DependencyTable, MappingConfig, NautilusMapper};
+use nautilus_sim::{DependencyTable, MappingConfig, MappingTable, NautilusMapper};
 use traceroute_sim::TracerouteSimulator;
-use xaminer_sim::{CascadeConfig, FailureEvent, FailureImpact, XaminerEngine};
+use xaminer_sim::{CascadeConfig, FailureEvent, FailureImpact};
 
 use crate::analysis;
 use crate::data::*;
 use crate::disasters;
 
+/// One build-once artifact slot.
+type ArtifactSlot = Arc<OnceLock<Result<Value, ToolError>>>;
+
+/// A concurrent, shareable cache of expensive measurement artifacts,
+/// keyed by artifact id. Each slot is built exactly once — concurrent
+/// requesters for the same key block on the builder instead of
+/// duplicating the work — and the cached [`Value`]s are Arc-shared, so a
+/// hit is a pointer bump.
+#[derive(Default)]
+pub struct ArtifactStore {
+    slots: Mutex<BTreeMap<String, ArtifactSlot>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// Returns the cached value for `key`, building (once) on a miss.
+    ///
+    /// Only successes stay cached: a failed build is returned to everyone
+    /// who was waiting on that slot, but the slot is evicted so the next
+    /// request retries instead of serving the stale error for the store's
+    /// lifetime.
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Value, ToolError>,
+    ) -> Result<Value, ToolError> {
+        let slot = Arc::clone(self.slots.lock().entry(key.to_string()).or_default());
+        let result = slot.get_or_init(build).clone();
+        if result.is_err() {
+            let mut slots = self.slots.lock();
+            // Evict only if the key still points at this failed slot (a
+            // concurrent retry may already have installed a fresh one).
+            if slots.get(key).is_some_and(|current| Arc::ptr_eq(current, &slot)) {
+                slots.remove(key);
+            }
+        }
+        result
+    }
+
+    /// Number of artifacts cached (or being built).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
 /// The standard runtime over one scenario.
 pub struct StandardRuntime {
-    scenario: Scenario,
-    cache: Mutex<BTreeMap<String, serde_json::Value>>,
+    scenario: Arc<Scenario>,
+    artifacts: Arc<ArtifactStore>,
 }
 
 impl StandardRuntime {
+    /// A runtime owning a private artifact store.
     pub fn new(scenario: Scenario) -> Self {
-        StandardRuntime { scenario, cache: Mutex::new(BTreeMap::new()) }
+        StandardRuntime::shared(Arc::new(scenario), Arc::new(ArtifactStore::new()))
+    }
+
+    /// A runtime over a shared scenario and artifact store — the serving
+    /// engine hands every session of a scenario the same store, so
+    /// artifacts are computed once across all concurrent sessions.
+    pub fn shared(scenario: Arc<Scenario>, artifacts: Arc<ArtifactStore>) -> Self {
+        StandardRuntime { scenario, artifacts }
     }
 
     /// The scenario under measurement.
@@ -38,83 +110,107 @@ impl StandardRuntime {
         &self.scenario
     }
 
-    fn cached<Build>(&self, key: &str, build: Build) -> Result<serde_json::Value, ToolError>
-    where
-        Build: FnOnce() -> Result<serde_json::Value, ToolError>,
-    {
-        if let Some(v) = self.cache.lock().get(key) {
-            return Ok(v.clone());
-        }
-        let v = build()?;
-        self.cache.lock().insert(key.to_string(), v.clone());
-        Ok(v)
+    /// The artifact store backing this runtime.
+    pub fn artifacts(&self) -> &Arc<ArtifactStore> {
+        &self.artifacts
     }
 
     // -- cached artifacts ---------------------------------------------------
 
-    fn mapping_json(&self) -> Result<serde_json::Value, ToolError> {
-        self.cached("nautilus.mapping", || {
+    fn mapping_value(&self) -> Result<Value, ToolError> {
+        self.artifacts.get_or_build("nautilus.mapping", || {
             let table = NautilusMapper::new(MappingConfig::default())
                 .map_world(&self.scenario.world);
-            Ok(serde_json::to_value(table).expect("mapping serializes"))
+            Ok(Value::native(F::MappingTable, table, false))
         })
     }
 
-    fn default_deps(&self) -> Result<DependencyTable, ToolError> {
-        let json = self.cached("nautilus.default_deps", || {
-            let mapping = NautilusMapper::new(MappingConfig::default())
-                .map_world(&self.scenario.world);
-            let deps = DependencyTable::from_mapping(&self.scenario.world, &mapping, 0.2);
-            Ok(serde_json::to_value(deps).expect("deps serialize"))
-        })?;
-        de_value("default_deps", json)
+    fn default_deps_value(&self) -> Result<Value, ToolError> {
+        // Derive from the cached mapping artifact — the mapping run is the
+        // expensive half and must not be recomputed per dependency table.
+        let mapping = self.mapping_value()?;
+        self.artifacts.get_or_build("nautilus.default_deps", || {
+            let m: ValueView<'_, MappingTable> = view_of(&mapping, "cached mapping")?;
+            let deps = DependencyTable::from_mapping(&self.scenario.world, &m, 0.2);
+            Ok(Value::native(F::DependencyTable, deps, false))
+        })
     }
 
-    fn updates_full(&self) -> Result<Vec<BgpUpdate>, ToolError> {
-        let json = self.cached("bgp.updates_full", || {
+    fn updates_value(&self) -> Result<Value, ToolError> {
+        self.artifacts.get_or_build("bgp.updates_full", || {
             let sim = BgpSimulator::new(&self.scenario);
-            Ok(serde_json::to_value(sim.updates()).expect("updates serialize"))
-        })?;
-        de_value("bgp updates", json)
+            let updates = sim.updates();
+            let empty = updates.is_empty();
+            Ok(Value::native(F::BgpUpdates, updates, empty))
+        })
     }
 }
 
-// -- small (de)serialization helpers ----------------------------------------
+// -- argument helpers --------------------------------------------------------
 
 fn need<'a>(
-    args: &'a BTreeMap<String, TypedValue>,
+    args: &'a BTreeMap<String, Value>,
     function: &FunctionId,
     name: &str,
-) -> Result<&'a TypedValue, ToolError> {
+) -> Result<&'a Value, ToolError> {
     args.get(name).ok_or_else(|| ToolError::BadArgument {
         function: function.clone(),
         message: format!("missing argument {name}"),
     })
 }
 
-fn de<T: serde::de::DeserializeOwned>(
+/// Views an argument as `T`: zero-copy for native artifacts of that type,
+/// JSON deserialization otherwise.
+fn view<'a, T: serde::de::DeserializeOwned + 'static>(
     function: &FunctionId,
     name: &str,
-    tv: &TypedValue,
-) -> Result<T, ToolError> {
-    serde_json::from_value(tv.value.clone()).map_err(|e| ToolError::BadArgument {
+    tv: &'a Value,
+) -> Result<ValueView<'a, T>, ToolError> {
+    tv.view().map_err(|e| ToolError::BadArgument {
         function: function.clone(),
         message: format!("argument {name}: {e}"),
     })
 }
 
-fn de_value<T: serde::de::DeserializeOwned>(
-    what: &str,
-    v: serde_json::Value,
+/// Parses an argument into an owned `T` via the JSON projection (for
+/// small query-side values: windows, names, scalars).
+fn de<T: serde::de::DeserializeOwned>(
+    function: &FunctionId,
+    name: &str,
+    tv: &Value,
 ) -> Result<T, ToolError> {
-    serde_json::from_value(v).map_err(|e| ToolError::Failed {
+    T::deserialize_json(tv.json()).map_err(|e| ToolError::BadArgument {
+        function: function.clone(),
+        message: format!("argument {name}: {e}"),
+    })
+}
+
+/// Views an internally cached artifact as `T`.
+fn view_of<'a, T: serde::de::DeserializeOwned + 'static>(
+    tv: &'a Value,
+    what: &str,
+) -> Result<ValueView<'a, T>, ToolError> {
+    tv.view().map_err(|e| ToolError::Failed {
         function: FunctionId::from("internal.cache"),
         message: format!("{what}: {e}"),
     })
 }
 
-fn ok<T: serde::Serialize>(format: F, value: &T) -> Result<TypedValue, ToolError> {
-    Ok(TypedValue::new(format, serde_json::to_value(value).expect("outputs serialize")))
+/// Wraps a substrate result as a native (non-empty) artifact value.
+fn out<T: serde::Serialize + Send + Sync + 'static>(
+    format: F,
+    value: T,
+) -> Result<Value, ToolError> {
+    Ok(Value::native(format, value, false))
+}
+
+/// Wraps a sequence-shaped result, preserving JSON emptiness semantics.
+fn out_seq<T: serde::Serialize + Send + Sync + 'static>(
+    format: F,
+    value: Vec<T>,
+) -> Result<Value, ToolError> {
+    let empty = value.is_empty();
+    Ok(Value::native(format, value, empty))
 }
 
 #[derive(serde::Deserialize)]
@@ -129,7 +225,7 @@ impl WindowArg {
     }
 }
 
-fn parse_region(function: &FunctionId, name: &str, tv: &TypedValue) -> Result<Region, ToolError> {
+fn parse_region(function: &FunctionId, name: &str, tv: &Value) -> Result<Region, ToolError> {
     let s: String = de(function, name, tv)?;
     Region::parse(&s).ok_or_else(|| ToolError::BadArgument {
         function: function.clone(),
@@ -141,19 +237,17 @@ impl ToolRuntime for StandardRuntime {
     fn invoke(
         &self,
         function: &FunctionId,
-        args: &BTreeMap<String, TypedValue>,
-    ) -> Result<TypedValue, ToolError> {
+        args: &BTreeMap<String, Value>,
+    ) -> Result<Value, ToolError> {
         let world = &self.scenario.world;
         match function.0.as_str() {
             // ------------------------------------------------ nautilus ----
-            "nautilus.map_links" => {
-                Ok(TypedValue::new(F::MappingTable, self.mapping_json()?))
-            }
+            "nautilus.map_links" => self.mapping_value(),
             "nautilus.dependency_table" => {
-                let mapping: nautilus_sim::MappingTable =
-                    de(function, "mapping", need(args, function, "mapping")?)?;
+                let mapping: ValueView<'_, MappingTable> =
+                    view(function, "mapping", need(args, function, "mapping")?)?;
                 let deps = DependencyTable::from_mapping(world, &mapping, 0.2);
-                ok(F::DependencyTable, &deps)
+                out(F::DependencyTable, deps)
             }
             "nautilus.resolve_cable" => {
                 let name: String = de(function, "cable_name", need(args, function, "cable_name")?)?;
@@ -161,60 +255,66 @@ impl ToolRuntime for StandardRuntime {
                     function: function.clone(),
                     message: format!("cable {name:?} not found in the cartography catalog"),
                 })?;
-                ok(F::CableRef, &CableRefData { id: cable.id.0, name: cable.name.clone() })
+                out(F::CableRef, CableRefData { id: cable.id.0, name: cable.name.clone() })
             }
             "nautilus.cable_dependencies" => {
-                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                let deps: ValueView<'_, DependencyTable> =
+                    view(function, "deps", need(args, function, "deps")?)?;
                 let cable: CableRefData = de(function, "cable", need(args, function, "cable")?)?;
-                ok(F::CableDependencies, &deps.for_cable(CableId(cable.id)))
+                out(F::CableDependencies, deps.for_cable(CableId(cable.id)))
             }
 
             // ------------------------------------------------- xaminer ----
             "xaminer.process_event" => {
-                let event: FailureEvent = de(function, "event", need(args, function, "event")?)?;
-                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
-                let engine = XaminerEngine::new(world, deps);
-                ok(F::FailureImpact, &engine.process(&event))
+                let event: ValueView<'_, FailureEvent> =
+                    view(function, "event", need(args, function, "event")?)?;
+                let deps: ValueView<'_, DependencyTable> =
+                    view(function, "deps", need(args, function, "deps")?)?;
+                out(F::FailureImpact, xaminer_sim::process_event(world, &deps, &event))
             }
             "xaminer.impact_report" => {
-                let impact: FailureImpact =
-                    de(function, "impact", need(args, function, "impact")?)?;
-                ok(F::ImpactReport, &xaminer_sim::impact::aggregate(world, &impact))
+                let impact: ValueView<'_, FailureImpact> =
+                    view(function, "impact", need(args, function, "impact")?)?;
+                out(F::ImpactReport, xaminer_sim::impact::aggregate(world, &impact))
             }
             "xaminer.country_aggregate" => {
-                let report: xaminer_sim::ImpactReport =
-                    de(function, "report", need(args, function, "report")?)?;
-                ok(F::CountryImpactTable, &country_table(&report))
+                let report: ValueView<'_, xaminer_sim::ImpactReport> =
+                    view(function, "report", need(args, function, "report")?)?;
+                out(F::CountryImpactTable, country_table(&report))
             }
             "xaminer.event_impact" => {
-                let event: FailureEvent = de(function, "event", need(args, function, "event")?)?;
-                let deps = self.default_deps()?;
-                let engine = XaminerEngine::new(world, deps);
-                let report = engine.impact_report(&event);
-                ok(F::CountryImpactTable, &country_table(&report))
+                let event: ValueView<'_, FailureEvent> =
+                    view(function, "event", need(args, function, "event")?)?;
+                let deps_value = self.default_deps_value()?;
+                let deps: ValueView<'_, DependencyTable> =
+                    view_of(&deps_value, "default deps")?;
+                let failure = xaminer_sim::process_event(world, &deps, &event);
+                let report = xaminer_sim::impact::aggregate(world, &failure);
+                out(F::CountryImpactTable, country_table(&report))
             }
             "xaminer.cascade" => {
-                let impact: FailureImpact =
-                    de(function, "impact", need(args, function, "impact")?)?;
+                let impact: ValueView<'_, FailureImpact> =
+                    view(function, "impact", need(args, function, "impact")?)?;
                 let config = CascadeConfig { base_load: 0.75, ..CascadeConfig::default() };
                 let timeline = xaminer_sim::cascade::propagate(world, &impact, &config);
-                ok(F::CascadeTimeline, &timeline)
+                out(F::CascadeTimeline, timeline)
             }
             "xaminer.risk_profiles" => {
-                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
-                ok(F::RiskProfiles, &xaminer_sim::risk::all_risk_profiles(world, &deps))
+                let deps: ValueView<'_, DependencyTable> =
+                    view(function, "deps", need(args, function, "deps")?)?;
+                out_seq(F::RiskProfiles, xaminer_sim::risk::all_risk_profiles(world, &deps))
             }
 
             // ----------------------------------------------------- bgp ----
             "bgp.updates" => {
                 let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
                 let window = w.to_window();
-                let updates: Vec<BgpUpdate> = self
-                    .updates_full()?
-                    .into_iter()
-                    .filter(|u| window.contains(u.time))
-                    .collect();
-                ok(F::BgpUpdates, &updates)
+                let full_value = self.updates_value()?;
+                let full: ValueView<'_, Vec<BgpUpdate>> =
+                    view_of(&full_value, "bgp updates")?;
+                let updates: Vec<BgpUpdate> =
+                    full.iter().filter(|u| window.contains(u.time)).cloned().collect();
+                out_seq(F::BgpUpdates, updates)
             }
             "bgp.rib_snapshot" => {
                 let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
@@ -226,20 +326,20 @@ impl ToolRuntime for StandardRuntime {
                     &peers,
                     w.to_window().end,
                 );
-                ok(F::RibSnapshot, &rib)
+                out(F::RibSnapshot, rib)
             }
             "bgp.detect_bursts" => {
-                let updates: Vec<BgpUpdate> =
-                    de(function, "updates", need(args, function, "updates")?)?;
+                let updates: ValueView<'_, Vec<BgpUpdate>> =
+                    view(function, "updates", need(args, function, "updates")?)?;
                 let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
                 let window = w.to_window();
                 let hours = (window.duration().as_seconds() / 3600).clamp(24, 400) as usize;
                 let bursts = detect_update_bursts(&updates, window, hours, 3.0);
-                ok(F::BgpBursts, &bursts)
+                out_seq(F::BgpBursts, bursts)
             }
             "bgp.reachability_losses" => {
-                let updates: Vec<BgpUpdate> =
-                    de(function, "updates", need(args, function, "updates")?)?;
+                let updates: ValueView<'_, Vec<BgpUpdate>> =
+                    view(function, "updates", need(args, function, "updates")?)?;
                 let rows: Vec<serde_json::Value> = bgp_sim::reachability_losses(&updates)
                     .into_iter()
                     .map(|(peer, prefix, t)| {
@@ -250,7 +350,7 @@ impl ToolRuntime for StandardRuntime {
                         })
                     })
                     .collect();
-                ok(F::Table, &rows)
+                Ok(Value::new(F::Table, serde_json::Value::Array(rows)))
             }
 
             // ----------------------------------------------- traceroute ----
@@ -259,27 +359,29 @@ impl ToolRuntime for StandardRuntime {
                 let dst = parse_region(function, "dst_region", need(args, function, "dst_region")?)?;
                 let w: WindowArg = de(function, "window", need(args, function, "window")?)?;
                 let key = format!("campaign:{src:?}:{dst:?}:{}:{}", w.start, w.end);
-                let json = self.cached(&key, || {
+                self.artifacts.get_or_build(&key, || {
                     let campaign = run_campaign(&self.scenario, src, dst, w.to_window());
-                    Ok(serde_json::to_value(campaign).expect("campaign serializes"))
-                })?;
-                Ok(TypedValue::new(F::TracerouteCampaign, json))
+                    Ok(Value::native(F::TracerouteCampaign, campaign, false))
+                })
             }
             "traceroute.rtt_series" => {
-                let campaign: CampaignData =
-                    de(function, "campaign", need(args, function, "campaign")?)?;
-                ok(F::RttSeries, &analysis::rtt_series(&campaign, 6 * 3600))
+                let campaign: ValueView<'_, CampaignData> =
+                    view(function, "campaign", need(args, function, "campaign")?)?;
+                out(F::RttSeries, analysis::rtt_series(&campaign, 6 * 3600))
             }
             "traceroute.detect_anomaly" => {
-                let campaign: CampaignData =
-                    de(function, "campaign", need(args, function, "campaign")?)?;
-                ok(F::AnomalyReport, &analysis::detect_anomaly(&campaign))
+                let campaign: ValueView<'_, CampaignData> =
+                    view(function, "campaign", need(args, function, "campaign")?)?;
+                out(F::AnomalyReport, analysis::detect_anomaly(&campaign))
             }
 
             // ---------------------------------------------------- util ----
             "util.cable_failure_event" => {
                 let cable: CableRefData = de(function, "cable", need(args, function, "cable")?)?;
-                ok(F::FailureEventSpec, &FailureEvent::CableFailure { cable: CableId(cable.id) })
+                out(
+                    F::FailureEventSpec,
+                    FailureEvent::CableFailure { cable: CableId(cable.id) },
+                )
             }
             "util.compile_disasters" => {
                 #[derive(serde::Deserialize)]
@@ -304,12 +406,14 @@ impl ToolRuntime for StandardRuntime {
                 let event = FailureEvent::Compound(
                     specs.into_iter().map(FailureEvent::Disaster).collect(),
                 );
-                ok(F::FailureEventSpec, &event)
+                out(F::FailureEventSpec, event)
             }
             "util.combine_impact_tables" => {
-                let a: CountryTableData = de(function, "a", need(args, function, "a")?)?;
-                let b: CountryTableData = de(function, "b", need(args, function, "b")?)?;
-                ok(F::CountryImpactTable, &combine_tables(&a, &b))
+                let a: ValueView<'_, CountryTableData> =
+                    view(function, "a", need(args, function, "a")?)?;
+                let b: ValueView<'_, CountryTableData> =
+                    view(function, "b", need(args, function, "b")?)?;
+                out(F::CountryImpactTable, combine_tables(&a, &b))
             }
             "util.corridor_failure_event" => {
                 let src = parse_region(function, "src_region", need(args, function, "src_region")?)?;
@@ -327,12 +431,13 @@ impl ToolRuntime for StandardRuntime {
                         .map(|cable| FailureEvent::CableFailure { cable })
                         .collect(),
                 );
-                ok(F::FailureEventSpec, &event)
+                out(F::FailureEventSpec, event)
             }
             "util.score_suspect_cables" => {
-                let anomaly: AnomalyData =
-                    de(function, "anomaly", need(args, function, "anomaly")?)?;
-                let deps: DependencyTable = de(function, "deps", need(args, function, "deps")?)?;
+                let anomaly: ValueView<'_, AnomalyData> =
+                    view(function, "anomaly", need(args, function, "anomaly")?)?;
+                let deps: ValueView<'_, DependencyTable> =
+                    view(function, "deps", need(args, function, "deps")?)?;
                 let mut cable_links: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
                 let mut names: BTreeMap<u32, String> = BTreeMap::new();
                 for cable in deps.cables() {
@@ -341,38 +446,41 @@ impl ToolRuntime for StandardRuntime {
                         .insert(cable.0, entry.links.iter().map(|l| l.0).collect());
                     names.insert(cable.0, world.cable(cable).name.clone());
                 }
-                ok(
+                out(
                     F::SuspectRanking,
-                    &analysis::score_suspects(&anomaly, &cable_links, &names),
+                    analysis::score_suspects(&anomaly, &cable_links, &names),
                 )
             }
             "util.correlate_evidence" => {
-                let bursts: Vec<bgp_sim::UpdateBurst> =
-                    de(function, "bursts", need(args, function, "bursts")?)?;
-                let anomaly: AnomalyData =
-                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                let bursts: ValueView<'_, Vec<bgp_sim::UpdateBurst>> =
+                    view(function, "bursts", need(args, function, "bursts")?)?;
+                let anomaly: ValueView<'_, AnomalyData> =
+                    view(function, "anomaly", need(args, function, "anomaly")?)?;
                 let times: Vec<i64> = bursts.iter().map(|b| b.window.start.0).collect();
-                ok(F::CorrelationReport, &analysis::correlate(&times, bursts.len(), &anomaly))
+                out(
+                    F::CorrelationReport,
+                    analysis::correlate(&times, bursts.len(), &anomaly),
+                )
             }
             "util.synthesize_verdict" => {
-                let suspects: SuspectData =
-                    de(function, "suspects", need(args, function, "suspects")?)?;
-                let correlation: CorrelationData =
-                    de(function, "correlation", need(args, function, "correlation")?)?;
-                let anomaly: AnomalyData =
-                    de(function, "anomaly", need(args, function, "anomaly")?)?;
-                ok(
+                let suspects: ValueView<'_, SuspectData> =
+                    view(function, "suspects", need(args, function, "suspects")?)?;
+                let correlation: ValueView<'_, CorrelationData> =
+                    view(function, "correlation", need(args, function, "correlation")?)?;
+                let anomaly: ValueView<'_, AnomalyData> =
+                    view(function, "anomaly", need(args, function, "anomaly")?)?;
+                out(
                     F::ForensicVerdict,
-                    &analysis::synthesize_verdict(&suspects, &correlation, &anomaly),
+                    analysis::synthesize_verdict(&suspects, &correlation, &anomaly),
                 )
             }
             "util.build_timeline" => {
-                let cascade: xaminer_sim::CascadeTimeline =
-                    de(function, "cascade", need(args, function, "cascade")?)?;
-                let bursts: Vec<bgp_sim::UpdateBurst> =
-                    de(function, "bursts", need(args, function, "bursts")?)?;
-                let anomaly: AnomalyData =
-                    de(function, "anomaly", need(args, function, "anomaly")?)?;
+                let cascade: ValueView<'_, xaminer_sim::CascadeTimeline> =
+                    view(function, "cascade", need(args, function, "cascade")?)?;
+                let bursts: ValueView<'_, Vec<bgp_sim::UpdateBurst>> =
+                    view(function, "bursts", need(args, function, "bursts")?)?;
+                let anomaly: ValueView<'_, AnomalyData> =
+                    view(function, "anomaly", need(args, function, "anomaly")?)?;
                 // Anchor cascade offsets at the first observed event (or the
                 // horizon start for pure what-if analyses).
                 let anchor = self
@@ -408,9 +516,9 @@ impl ToolRuntime for StandardRuntime {
                     }
                 }
                 let burst_times: Vec<i64> = bursts.iter().map(|b| b.window.start.0).collect();
-                ok(
+                out(
                     F::UnifiedTimeline,
-                    &analysis::build_timeline(&cascade_events, &burst_times, &anomaly),
+                    analysis::build_timeline(&cascade_events, &burst_times, &anomaly),
                 )
             }
 
@@ -419,7 +527,9 @@ impl ToolRuntime for StandardRuntime {
                 let value = need(args, function, "value")?;
                 let mut checks = vec!["non-null".to_string()];
                 let mut notes = Vec::new();
-                let mut passed = !value.value.is_null();
+                // Native artifacts are never null; only JSON payloads need
+                // the projection inspected.
+                let mut passed = value.is_native() || !value.json().is_null();
                 if value.is_empty_payload() {
                     passed = false;
                     notes.push("result payload is empty".to_string());
@@ -427,7 +537,7 @@ impl ToolRuntime for StandardRuntime {
                     checks.push("non-empty".to_string());
                 }
                 checks.push(format!("declared format {}", value.format));
-                ok(F::QaReport, &QaData { passed, checks, notes })
+                out(F::QaReport, QaData { passed, checks, notes })
             }
 
             _ => Err(ToolError::Unbound(function.clone())),
@@ -572,16 +682,16 @@ mod tests {
     use super::*;
     use crate::scenarios;
 
-    fn tv(format: F, v: serde_json::Value) -> TypedValue {
-        TypedValue::new(format, v)
+    fn tv(format: F, v: serde_json::Value) -> Value {
+        Value::new(format, v)
     }
 
     fn invoke(
         rt: &StandardRuntime,
         id: &str,
-        args: Vec<(&str, TypedValue)>,
-    ) -> Result<TypedValue, ToolError> {
-        let map: BTreeMap<String, TypedValue> =
+        args: Vec<(&str, Value)>,
+    ) -> Result<Value, ToolError> {
+        let map: BTreeMap<String, Value> =
             args.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         rt.invoke(&FunctionId::from(id), &map)
     }
@@ -595,7 +705,7 @@ mod tests {
             vec![("cable_name", tv(F::Text, serde_json::json!("SeaMeWe-5")))],
         )
         .unwrap();
-        let c: CableRefData = serde_json::from_value(cable.value.clone()).unwrap();
+        let c: CableRefData = cable.parse().unwrap();
         assert_eq!(c.name, "SeaMeWe-5");
 
         let missing = invoke(
@@ -613,6 +723,7 @@ mod tests {
     fn cs1_manual_chain_produces_country_table() {
         let rt = StandardRuntime::new(scenarios::cs1_scenario());
         let mapping = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
+        assert!(mapping.is_native(), "mapping crosses boundaries natively");
         let deps =
             invoke(&rt, "nautilus.dependency_table", vec![("mapping", mapping)]).unwrap();
         let cable = invoke(
@@ -632,7 +743,7 @@ mod tests {
         let report = invoke(&rt, "xaminer.impact_report", vec![("impact", impact)]).unwrap();
         let table =
             invoke(&rt, "xaminer.country_aggregate", vec![("report", report)]).unwrap();
-        let t: CountryTableData = serde_json::from_value(table.value).unwrap();
+        let t: CountryTableData = table.parse().unwrap();
         assert!(!t.rows.is_empty());
         assert!(t.rows[0].impact_score >= t.rows.last().unwrap().impact_score);
     }
@@ -655,8 +766,71 @@ mod tests {
         )
         .unwrap();
         let table = invoke(&rt, "xaminer.event_impact", vec![("event", event)]).unwrap();
-        let t: CountryTableData = serde_json::from_value(table.value).unwrap();
+        let t: CountryTableData = table.parse().unwrap();
         assert!(!t.rows.is_empty(), "a 12-zone catalog at 10% must hit something");
+    }
+
+    #[test]
+    fn default_deps_reuses_the_cached_mapping_artifact() {
+        let rt = StandardRuntime::new(scenarios::cs2_scenario());
+        let event = invoke(
+            &rt,
+            "util.compile_disasters",
+            vec![
+                (
+                    "disasters",
+                    tv(F::DisasterSpecs, serde_json::json!([{"kind": "earthquake"}])),
+                ),
+                ("failure_probability", tv(F::Scalar, serde_json::json!(0.1))),
+            ],
+        )
+        .unwrap();
+        invoke(&rt, "xaminer.event_impact", vec![("event", event)]).unwrap();
+        // The default dependency table derives from the shared mapping
+        // artifact: both cache keys exist after one event_impact call.
+        assert_eq!(rt.artifacts().len(), 2, "mapping + default_deps cached");
+        // And the mapping the store holds is the same one map_links serves.
+        let mapping = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
+        assert!(mapping.is_native());
+        assert_eq!(rt.artifacts().len(), 2, "map_links hit the cache");
+    }
+
+    #[test]
+    fn artifact_store_retries_after_a_failed_build() {
+        let store = ArtifactStore::new();
+        let err = store.get_or_build("k", || {
+            Err(ToolError::Failed {
+                function: FunctionId::from("t.flaky"),
+                message: "transient".into(),
+            })
+        });
+        assert!(err.is_err());
+        assert!(store.is_empty(), "failed slots are evicted");
+        // The next request rebuilds and the success stays cached.
+        let ok = store
+            .get_or_build("k", || Ok(Value::new(F::Scalar, serde_json::json!(1))))
+            .unwrap();
+        assert_eq!(ok.json(), &serde_json::json!(1));
+        let cached = store
+            .get_or_build("k", || panic!("must not rebuild a cached success"))
+            .unwrap();
+        assert_eq!(cached, ok);
+    }
+
+    #[test]
+    fn shared_artifact_store_is_computed_once_across_runtimes() {
+        let scenario = Arc::new(scenarios::cs1_scenario());
+        let store = Arc::new(ArtifactStore::new());
+        let rt1 = StandardRuntime::shared(Arc::clone(&scenario), Arc::clone(&store));
+        let rt2 = StandardRuntime::shared(Arc::clone(&scenario), Arc::clone(&store));
+
+        let m1 = invoke(&rt1, "nautilus.map_links", vec![]).unwrap();
+        let m2 = invoke(&rt2, "nautilus.map_links", vec![]).unwrap();
+        assert_eq!(store.len(), 1, "one mapping artifact across both runtimes");
+        // Both runtimes serve the same native artifact.
+        let p1: *const MappingTable = m1.native_ref::<MappingTable>().unwrap();
+        let p2: *const MappingTable = m2.native_ref::<MappingTable>().unwrap();
+        assert!(std::ptr::eq(p1, p2), "artifact is shared, not recomputed");
     }
 
     #[test]
@@ -671,7 +845,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let ev: FailureEvent = serde_json::from_value(event.value).unwrap();
+        let ev: FailureEvent = event.parse().unwrap();
         match ev {
             FailureEvent::Compound(events) => {
                 assert!((1..=3).contains(&events.len()));
@@ -685,13 +859,14 @@ mod tests {
         let rt = StandardRuntime::new(scenarios::cs3_scenario());
         let window = tv(F::TimeWindow, serde_json::json!({"start": 0, "end": 10 * 86_400}));
         let updates = invoke(&rt, "bgp.updates", vec![("window", window.clone())]).unwrap();
+        assert!(updates.is_native(), "update stream crosses natively");
         let bursts = invoke(
             &rt,
             "bgp.detect_bursts",
             vec![("updates", updates), ("window", window)],
         )
         .unwrap();
-        let b: Vec<bgp_sim::UpdateBurst> = serde_json::from_value(bursts.value).unwrap();
+        let b: Vec<bgp_sim::UpdateBurst> = bursts.parse().unwrap();
         assert!(!b.is_empty(), "two cable cuts must burst");
     }
 
@@ -713,7 +888,7 @@ mod tests {
             vec![("value", tv(F::Table, serde_json::json!([])))],
         )
         .unwrap();
-        let qa: QaData = serde_json::from_value(bad.value).unwrap();
+        let qa: QaData = bad.parse().unwrap();
         assert!(!qa.passed);
 
         let good = invoke(
@@ -722,7 +897,15 @@ mod tests {
             vec![("value", tv(F::Table, serde_json::json!([{"x": 1}])))],
         )
         .unwrap();
-        let qa: QaData = serde_json::from_value(good.value).unwrap();
+        let qa: QaData = good.parse().unwrap();
         assert!(qa.passed);
+
+        // Native sequence artifacts keep JSON emptiness semantics.
+        let empty_native = Value::native(F::BgpBursts, Vec::<u32>::new(), true);
+        let qa: QaData = invoke(&rt, "qa.verify_output", vec![("value", empty_native)])
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(!qa.passed);
     }
 }

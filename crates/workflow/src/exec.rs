@@ -1,51 +1,38 @@
 //! The workflow executor.
 //!
-//! Steps run in list order against a [`ToolRuntime`] (the binding from
-//! function ids to actual measurement-tool calls lives in the `toolkit`
-//! crate). Values cross step boundaries as [`TypedValue`]s — a declared
-//! [`DataFormat`] plus a JSON payload, mirroring how real measurement
-//! pipelines pass serialized artifacts between heterogeneous tools.
+//! Steps run over a dependency DAG against a [`ToolRuntime`] (the binding
+//! from function ids to actual measurement-tool calls lives in the
+//! `toolkit` crate). Values cross step boundaries as Arc-shared
+//! [`Value`]s — a declared [`DataFormat`] plus a payload that is either
+//! JSON or a native substrate artifact (see [`crate::value`]) — so
+//! fan-out never deep-clones.
+//!
+//! Independent steps execute **in parallel**: the executor derives the
+//! dependency DAG from the step bindings and runs ready steps across a
+//! scoped worker pool ([`ExecOptions::workers`]). The report is
+//! **bit-identical for any worker count**: each step's result is a pure
+//! function of its inputs, per-step QA findings are buffered and stitched
+//! back together in workflow list order, and the result/output maps are
+//! keyed canonically.
 //!
 //! Quality assurance is woven into execution, as SolutionWeaver embeds it
 //! in generated code: every step's output is verified against its declared
 //! format, empty results raise sanity findings, and failed steps poison
 //! (skip) their dependents instead of aborting the whole run.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-use registry::{DataFormat, FunctionId, Registry};
+use registry::{FunctionId, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::{Binding, StepId, Workflow};
 
-/// A value flowing between steps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TypedValue {
-    pub format: DataFormat,
-    pub value: serde_json::Value,
-}
+pub use crate::value::{Value, ValueView};
 
-impl TypedValue {
-    pub fn new(format: DataFormat, value: serde_json::Value) -> TypedValue {
-        TypedValue { format, value }
-    }
-
-    /// A text value.
-    pub fn text(s: &str) -> TypedValue {
-        TypedValue::new(DataFormat::Text, serde_json::Value::String(s.to_string()))
-    }
-
-    /// Whether the payload is structurally empty (empty array/object/null).
-    pub fn is_empty_payload(&self) -> bool {
-        match &self.value {
-            serde_json::Value::Null => true,
-            serde_json::Value::Array(a) => a.is_empty(),
-            serde_json::Value::Object(o) => o.is_empty(),
-            serde_json::Value::String(s) => s.is_empty(),
-            _ => false,
-        }
-    }
-}
+/// Backwards-compatible alias: the PR 3 API renamed `TypedValue` to
+/// [`Value`] when the payload went Arc-shared.
+pub type TypedValue = Value;
 
 /// Errors a tool invocation can raise.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,19 +60,23 @@ impl std::fmt::Display for ToolError {
 impl std::error::Error for ToolError {}
 
 /// The binding from registry functions to actual tool implementations.
-pub trait ToolRuntime {
+///
+/// Runtimes are `Sync`: the executor invokes independent steps from
+/// multiple worker threads against one shared runtime, exactly as the
+/// serving engine shares one artifact store across sessions.
+pub trait ToolRuntime: Sync {
     /// Invokes `function` with named arguments.
     fn invoke(
         &self,
         function: &FunctionId,
-        args: &BTreeMap<String, TypedValue>,
-    ) -> Result<TypedValue, ToolError>;
+        args: &BTreeMap<String, Value>,
+    ) -> Result<Value, ToolError>;
 }
 
 /// Outcome of one step.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepResult {
-    Ok(TypedValue),
+    Ok(Value),
     Failed(ToolError),
     /// Skipped because a dependency failed.
     Poisoned { failed_dependency: StepId },
@@ -96,7 +87,7 @@ impl StepResult {
         matches!(self, StepResult::Ok(_))
     }
 
-    pub fn value(&self) -> Option<&TypedValue> {
+    pub fn value(&self) -> Option<&Value> {
         match self {
             StepResult::Ok(v) => Some(v),
             _ => None,
@@ -120,14 +111,16 @@ pub struct QaFinding {
     pub message: String,
 }
 
-/// The full execution report.
-#[derive(Debug)]
+/// The full execution report. Deterministic for a given workflow, runtime
+/// and argument set — independent of the executor's worker count.
+#[derive(Debug, PartialEq)]
 pub struct ExecutionReport {
-    /// Per-step results, in execution order.
+    /// Per-step results, in canonical step-id order.
     pub results: BTreeMap<StepId, StepResult>,
     /// Workflow outputs (only the steps that succeeded).
-    pub outputs: BTreeMap<StepId, TypedValue>,
-    /// QA findings accumulated during the run.
+    pub outputs: BTreeMap<StepId, Value>,
+    /// QA findings, in workflow list order (per-step findings keep their
+    /// emission order).
     pub qa: Vec<QaFinding>,
     /// Steps executed / failed / poisoned.
     pub executed: usize,
@@ -142,7 +135,7 @@ impl ExecutionReport {
     }
 
     /// The single output value, when the workflow declares exactly one.
-    pub fn sole_output(&self) -> Option<&TypedValue> {
+    pub fn sole_output(&self) -> Option<&Value> {
         if self.outputs.len() == 1 {
             self.outputs.values().next()
         } else {
@@ -151,7 +144,27 @@ impl ExecutionReport {
     }
 }
 
-/// Executes a workflow.
+/// Executor tuning.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for independent steps. The report is identical for
+    /// any value; `1` forces sequential execution.
+    pub workers: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { workers: default_workers() }
+    }
+}
+
+/// The default worker count: the machine's parallelism, capped — workflow
+/// DAGs are shallow and the substrate calls parallelize internally too.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Executes a workflow with default options.
 ///
 /// `query_args` supplies values for [`Binding::QueryArg`] bindings. The
 /// workflow should already have passed [`crate::check`]; execution is
@@ -160,105 +173,282 @@ pub fn execute(
     workflow: &Workflow,
     registry: &Registry,
     runtime: &dyn ToolRuntime,
-    query_args: &BTreeMap<String, TypedValue>,
+    query_args: &BTreeMap<String, Value>,
 ) -> ExecutionReport {
+    execute_with(workflow, registry, runtime, query_args, &ExecOptions::default())
+}
+
+/// What one scheduled step produced: its result plus the QA findings it
+/// emitted, buffered so the report can stitch findings back into workflow
+/// list order regardless of completion order.
+struct StepOutcome {
+    result: StepResult,
+    qa: Vec<QaFinding>,
+    /// Whether the tool was actually invoked (poisoned steps and steps
+    /// with missing query arguments never reach the runtime).
+    invoked: bool,
+}
+
+/// Scheduler state shared by the worker pool.
+struct Scheduler {
+    /// Indices ready to run, in ascending order of discovery.
+    ready: VecDeque<usize>,
+    /// Unresolved dependency count per step index.
+    pending: Vec<usize>,
+    /// Steps not yet completed.
+    remaining: usize,
+}
+
+/// Executes a workflow with explicit options.
+pub fn execute_with(
+    workflow: &Workflow,
+    registry: &Registry,
+    runtime: &dyn ToolRuntime,
+    query_args: &BTreeMap<String, Value>,
+    options: &ExecOptions,
+) -> ExecutionReport {
+    let steps = &workflow.steps;
+    let n = steps.len();
+
+    // Resolve every Step binding ONCE, to the *latest prior* occurrence
+    // of the target id — the same step a list-order executor would have
+    // seen in its results map (later duplicates overwrite earlier ones
+    // there). `resolved[i][param]` is what scheduling waits on AND what
+    // `run_step` reads, so the two can never disagree. Unresolvable
+    // targets (forward or dangling references) resolve to `None`; the
+    // step poisons at run time, exactly as when the target was absent
+    // from the results map.
+    let mut resolved: Vec<BTreeMap<&String, Option<usize>>> = Vec::with_capacity(n);
+    let mut latest: BTreeMap<&StepId, usize> = BTreeMap::new();
+    for (i, step) in steps.iter().enumerate() {
+        let mut targets = BTreeMap::new();
+        for (name, binding) in &step.inputs {
+            if let Binding::Step(target) = binding {
+                targets.insert(name, latest.get(target).copied());
+            }
+        }
+        resolved.push(targets);
+        latest.insert(&step.id, i);
+    }
+    let dep_indices: Vec<Vec<usize>> = resolved
+        .iter()
+        .map(|targets| {
+            let mut deps: Vec<usize> = targets.values().flatten().copied().collect();
+            deps.sort_unstable();
+            deps.dedup();
+            deps
+        })
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, deps) in dep_indices.iter().enumerate() {
+        for &j in deps {
+            dependents[j].push(i);
+        }
+    }
+
+    let outcomes: Vec<OnceLock<StepOutcome>> = (0..n).map(|_| OnceLock::new()).collect();
+    let scheduler = Mutex::new(Scheduler {
+        ready: (0..n).filter(|&i| dep_indices[i].is_empty()).collect(),
+        pending: dep_indices.iter().map(Vec::len).collect(),
+        remaining: n,
+    });
+    let wake = Condvar::new();
+    // A panicking tool must not deadlock the pool: the first panic is
+    // parked here and re-raised once every in-flight worker has drained,
+    // preserving the list-order executor's propagation semantics.
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let run_worker = || loop {
+        let i = {
+            let mut sched = scheduler.lock().expect("scheduler lock");
+            loop {
+                if sched.remaining == 0 {
+                    return;
+                }
+                if let Some(i) = sched.ready.pop_front() {
+                    break i;
+                }
+                sched = wake.wait(sched).expect("scheduler lock");
+            }
+        };
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_step(registry, runtime, query_args, steps, &resolved[i], i, &outcomes)
+        }))
+        .unwrap_or_else(|payload| {
+            let mut first = panicked.lock().expect("panic slot");
+            if first.is_none() {
+                *first = Some(payload);
+            }
+            StepOutcome {
+                result: StepResult::Failed(ToolError::Failed {
+                    function: steps[i].function.clone(),
+                    message: "tool panicked".to_string(),
+                }),
+                qa: Vec::new(),
+                invoked: true,
+            }
+        });
+        outcomes[i].set(outcome).unwrap_or_else(|_| panic!("step {i} ran twice"));
+
+        let mut sched = scheduler.lock().expect("scheduler lock");
+        sched.remaining -= 1;
+        for &d in &dependents[i] {
+            sched.pending[d] -= 1;
+            if sched.pending[d] == 0 {
+                sched.ready.push_back(d);
+            }
+        }
+        // Wake idle workers for newly ready steps, and everyone at the end.
+        if sched.remaining == 0 || !sched.ready.is_empty() {
+            wake.notify_all();
+        }
+    };
+
+    let workers = options.workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        run_worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(run_worker);
+            }
+        });
+    }
+
+    if let Some(payload) = panicked.lock().expect("panic slot").take() {
+        std::panic::resume_unwind(payload);
+    }
+
+    // Assemble the deterministic report: results keyed canonically (later
+    // duplicate ids overwrite earlier, as the list-order executor did), QA
+    // stitched in workflow list order, counters over step instances.
     let mut results: BTreeMap<StepId, StepResult> = BTreeMap::new();
     let mut qa: Vec<QaFinding> = Vec::new();
     let (mut executed, mut failed, mut poisoned) = (0usize, 0usize, 0usize);
+    for (i, step) in steps.iter().enumerate() {
+        let outcome = outcomes[i].get().expect("all steps completed");
+        if outcome.invoked {
+            executed += 1;
+        }
+        match &outcome.result {
+            StepResult::Failed(_) => failed += 1,
+            StepResult::Poisoned { .. } => poisoned += 1,
+            StepResult::Ok(_) => {}
+        }
+        qa.extend(outcome.qa.iter().cloned());
+        results.insert(step.id.clone(), outcome.result.clone());
+    }
 
-    'steps: for step in &workflow.steps {
-        // Resolve bindings.
-        let mut args: BTreeMap<String, TypedValue> = BTreeMap::new();
-        for (name, binding) in &step.inputs {
-            match binding {
-                Binding::Const { format, value } => {
-                    args.insert(name.clone(), TypedValue::new(*format, value.clone()));
+    let outputs: BTreeMap<StepId, Value> = workflow
+        .outputs
+        .iter()
+        .filter_map(|id| results.get(id).and_then(|r| r.value()).map(|v| (id.clone(), v.clone())))
+        .collect();
+
+    ExecutionReport { results, outputs, qa, executed, failed, poisoned }
+}
+
+/// Runs one step: binding resolution (first unsatisfiable binding in
+/// parameter-name order wins, matching the list-order executor), tool
+/// invocation, woven-in QA.
+fn run_step(
+    registry: &Registry,
+    runtime: &dyn ToolRuntime,
+    query_args: &BTreeMap<String, Value>,
+    steps: &[crate::Step],
+    resolved_targets: &BTreeMap<&String, Option<usize>>,
+    index: usize,
+    outcomes: &[OnceLock<StepOutcome>],
+) -> StepOutcome {
+    let step = &steps[index];
+    let mut qa: Vec<QaFinding> = Vec::new();
+
+    // Resolve bindings.
+    let mut args: BTreeMap<String, Value> = BTreeMap::new();
+    for (name, binding) in &step.inputs {
+        match binding {
+            Binding::Const { format, value } => {
+                args.insert(name.clone(), Value::new(*format, value.clone()));
+            }
+            Binding::QueryArg { name: arg, format } => match query_args.get(arg) {
+                Some(v) => {
+                    args.insert(name.clone(), v.clone());
                 }
-                Binding::QueryArg { name: arg, format } => match query_args.get(arg) {
+                None => {
+                    qa.push(QaFinding {
+                        step: step.id.clone(),
+                        severity: QaSeverity::Error,
+                        message: format!("query argument {arg} ({format}) not supplied"),
+                    });
+                    return StepOutcome {
+                        result: StepResult::Failed(ToolError::BadArgument {
+                            function: step.function.clone(),
+                            message: format!("missing query argument {arg}"),
+                        }),
+                        qa,
+                        invoked: false,
+                    };
+                }
+            },
+            Binding::Step(target) => {
+                // The scheduler waited on exactly this index (same map).
+                let resolved = resolved_targets
+                    .get(name)
+                    .copied()
+                    .flatten()
+                    .and_then(|j| outcomes[j].get())
+                    .and_then(|o| o.result.value());
+                match resolved {
                     Some(v) => {
                         args.insert(name.clone(), v.clone());
                     }
                     None => {
-                        qa.push(QaFinding {
-                            step: step.id.clone(),
-                            severity: QaSeverity::Error,
-                            message: format!("query argument {arg} ({format}) not supplied"),
-                        });
-                        results.insert(
-                            step.id.clone(),
-                            StepResult::Failed(ToolError::BadArgument {
-                                function: step.function.clone(),
-                                message: format!("missing query argument {arg}"),
-                            }),
-                        );
-                        failed += 1;
-                        continue 'steps;
-                    }
-                },
-                Binding::Step(target) => match results.get(target) {
-                    Some(StepResult::Ok(v)) => {
-                        args.insert(name.clone(), v.clone());
-                    }
-                    _ => {
-                        results.insert(
-                            step.id.clone(),
-                            StepResult::Poisoned { failed_dependency: target.clone() },
-                        );
-                        poisoned += 1;
-                        continue 'steps;
-                    }
-                },
-            }
-        }
-
-        // Invoke (composites expand to their sequence).
-        let invocation = invoke_entry(registry, runtime, &step.function, &args);
-        executed += 1;
-        match invocation {
-            Ok(value) => {
-                // Woven-in QA: declared format check + emptiness sanity.
-                if let Some(entry) = registry.get(&step.function) {
-                    if !value.format.compatible_with(entry.output) {
-                        qa.push(QaFinding {
-                            step: step.id.clone(),
-                            severity: QaSeverity::Error,
-                            message: format!(
-                                "output format {} incompatible with declared {}",
-                                value.format, entry.output
-                            ),
-                        });
+                        return StepOutcome {
+                            result: StepResult::Poisoned { failed_dependency: target.clone() },
+                            qa,
+                            invoked: false,
+                        };
                     }
                 }
-                if value.is_empty_payload() {
-                    qa.push(QaFinding {
-                        step: step.id.clone(),
-                        severity: QaSeverity::Warning,
-                        message: "step produced an empty result".to_string(),
-                    });
-                }
-                results.insert(step.id.clone(), StepResult::Ok(value));
-            }
-            Err(e) => {
-                qa.push(QaFinding {
-                    step: step.id.clone(),
-                    severity: QaSeverity::Error,
-                    message: e.to_string(),
-                });
-                results.insert(step.id.clone(), StepResult::Failed(e));
-                failed += 1;
             }
         }
     }
 
-    let outputs: BTreeMap<StepId, TypedValue> = workflow
-        .outputs
-        .iter()
-        .filter_map(|id| {
-            results.get(id).and_then(|r| r.value()).map(|v| (id.clone(), v.clone()))
-        })
-        .collect();
-
-    ExecutionReport { results, outputs, qa, executed, failed, poisoned }
+    // Invoke (composites expand to their sequence).
+    match invoke_entry(registry, runtime, &step.function, &args) {
+        Ok(value) => {
+            // Woven-in QA: declared format check + emptiness sanity.
+            if let Some(entry) = registry.get(&step.function) {
+                if !value.format.compatible_with(entry.output) {
+                    qa.push(QaFinding {
+                        step: step.id.clone(),
+                        severity: QaSeverity::Error,
+                        message: format!(
+                            "output format {} incompatible with declared {}",
+                            value.format, entry.output
+                        ),
+                    });
+                }
+            }
+            if value.is_empty_payload() {
+                qa.push(QaFinding {
+                    step: step.id.clone(),
+                    severity: QaSeverity::Warning,
+                    message: "step produced an empty result".to_string(),
+                });
+            }
+            StepOutcome { result: StepResult::Ok(value), qa, invoked: true }
+        }
+        Err(e) => {
+            qa.push(QaFinding {
+                step: step.id.clone(),
+                severity: QaSeverity::Error,
+                message: e.to_string(),
+            });
+            StepOutcome { result: StepResult::Failed(e), qa, invoked: true }
+        }
+    }
 }
 
 /// Invokes a function, expanding curator-mined composites: the sequence
@@ -268,12 +458,12 @@ fn invoke_entry(
     registry: &Registry,
     runtime: &dyn ToolRuntime,
     function: &FunctionId,
-    args: &BTreeMap<String, TypedValue>,
-) -> Result<TypedValue, ToolError> {
+    args: &BTreeMap<String, Value>,
+) -> Result<Value, ToolError> {
     let entry = registry.get(function);
     match entry.map(|e| e.implementation.clone()) {
         Some(registry::Implementation::Composite { sequence }) => {
-            let mut carried: Option<TypedValue> = None;
+            let mut carried: Option<Value> = None;
             for fid in &sequence {
                 let mut call_args = args.clone();
                 if let (Some(prev), Some(sub)) = (&carried, registry.get(fid)) {
@@ -296,7 +486,7 @@ fn invoke_entry(
 mod tests {
     use super::*;
     use crate::Step;
-    use registry::{CapabilityEntry, Implementation, Param, Registry};
+    use registry::{CapabilityEntry, DataFormat, Implementation, Param, Registry};
 
     /// A runtime binding two toy functions.
     struct ToyRuntime;
@@ -305,10 +495,10 @@ mod tests {
         fn invoke(
             &self,
             function: &FunctionId,
-            args: &BTreeMap<String, TypedValue>,
-        ) -> Result<TypedValue, ToolError> {
+            args: &BTreeMap<String, Value>,
+        ) -> Result<Value, ToolError> {
             match function.0.as_str() {
-                "toy.make" => Ok(TypedValue::new(
+                "toy.make" => Ok(Value::new(
                     DataFormat::Table,
                     serde_json::json!([{"v": 1}, {"v": 2}]),
                 )),
@@ -317,14 +507,14 @@ mod tests {
                         function: function.clone(),
                         message: "missing table".into(),
                     })?;
-                    let n = t.value.as_array().map(|a| a.len()).unwrap_or(0);
-                    Ok(TypedValue::new(DataFormat::Scalar, serde_json::json!(n)))
+                    let n = t.json().as_array().map(|a| a.len()).unwrap_or(0);
+                    Ok(Value::new(DataFormat::Scalar, serde_json::json!(n)))
                 }
                 "toy.fail" => Err(ToolError::Failed {
                     function: function.clone(),
                     message: "intentional".into(),
                 }),
-                "toy.empty" => Ok(TypedValue::new(DataFormat::Table, serde_json::json!([]))),
+                "toy.empty" => Ok(Value::new(DataFormat::Table, serde_json::json!([]))),
                 _ => Err(ToolError::Unbound(function.clone())),
             }
         }
@@ -368,7 +558,7 @@ mod tests {
             .with_output("b");
         let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
         assert!(report.all_ok());
-        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(2));
+        assert_eq!(report.sole_output().unwrap().json(), &serde_json::json!(2));
     }
 
     #[test]
@@ -394,6 +584,7 @@ mod tests {
         );
         let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
         assert_eq!(report.failed, 1);
+        assert_eq!(report.executed, 0, "missing args never reach the runtime");
         assert!(report
             .qa
             .iter()
@@ -417,7 +608,7 @@ mod tests {
             .with_output("a");
         let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
         assert!(report.all_ok(), "qa: {:?}", report.qa);
-        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(2));
+        assert_eq!(report.sole_output().unwrap().json(), &serde_json::json!(2));
     }
 
     #[test]
@@ -428,10 +619,90 @@ mod tests {
         let mut args = BTreeMap::new();
         args.insert(
             "t".to_string(),
-            TypedValue::new(DataFormat::Table, serde_json::json!([1, 2, 3])),
+            Value::new(DataFormat::Table, serde_json::json!([1, 2, 3])),
         );
         let report = execute(&wf, &registry(), &ToyRuntime, &args);
         assert!(report.all_ok());
-        assert_eq!(report.sole_output().unwrap().value, serde_json::json!(3));
+        assert_eq!(report.sole_output().unwrap().json(), &serde_json::json!(3));
+    }
+
+    /// A diamond DAG: fan-out runs in parallel, and every worker count
+    /// produces the identical report.
+    #[test]
+    fn dag_report_is_worker_count_invariant() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("src", "toy.make"))
+            .with_step(Step::new("left", "toy.count").bind_step("table", "src"))
+            .with_step(Step::new("right", "toy.count").bind_step("table", "src"))
+            .with_step(Step::new("bad", "toy.fail"))
+            .with_step(Step::new("downstream", "toy.count").bind_step("table", "bad"))
+            .with_output("left")
+            .with_output("right");
+        let reg = registry();
+        let baseline =
+            execute_with(&wf, &reg, &ToyRuntime, &BTreeMap::new(), &ExecOptions { workers: 1 });
+        for workers in [2, 4, 8] {
+            let parallel = execute_with(
+                &wf,
+                &reg,
+                &ToyRuntime,
+                &BTreeMap::new(),
+                &ExecOptions { workers },
+            );
+            assert_eq!(parallel, baseline, "workers={workers}");
+        }
+        assert_eq!(baseline.failed, 1);
+        assert_eq!(baseline.poisoned, 1);
+        assert_eq!(baseline.outputs.len(), 2);
+    }
+
+    /// A panicking tool propagates the panic (as the list-order executor
+    /// did) instead of deadlocking the worker pool.
+    #[test]
+    fn tool_panic_propagates_at_any_worker_count() {
+        struct PanickyRuntime;
+        impl ToolRuntime for PanickyRuntime {
+            fn invoke(
+                &self,
+                function: &FunctionId,
+                _args: &BTreeMap<String, Value>,
+            ) -> Result<Value, ToolError> {
+                if function.0 == "toy.fail" {
+                    panic!("runtime bug");
+                }
+                Ok(Value::new(DataFormat::Table, serde_json::json!([1])))
+            }
+        }
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("a", "toy.make"))
+            .with_step(Step::new("boom", "toy.fail"))
+            .with_step(Step::new("b", "toy.count").bind_step("table", "a"));
+        for workers in [1usize, 4] {
+            let result = std::panic::catch_unwind(|| {
+                execute_with(
+                    &wf,
+                    &registry(),
+                    &PanickyRuntime,
+                    &BTreeMap::new(),
+                    &ExecOptions { workers },
+                )
+            });
+            assert!(result.is_err(), "workers={workers}: panic must propagate");
+        }
+    }
+
+    /// Forward references poison (the target never resolves), exactly as
+    /// in list-order execution.
+    #[test]
+    fn forward_reference_poisons() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("b", "toy.count").bind_step("table", "a"))
+            .with_step(Step::new("a", "toy.make"));
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert_eq!(report.poisoned, 1);
+        assert!(matches!(
+            report.results.get(&StepId::from("b")),
+            Some(StepResult::Poisoned { failed_dependency }) if failed_dependency == &StepId::from("a")
+        ));
     }
 }

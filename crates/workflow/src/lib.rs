@@ -10,7 +10,11 @@
 //! * [`check`] — static validation (unknown functions, missing required
 //!   parameters, format mismatches, dangling references, cycles) so agents
 //!   catch wiring mistakes before anything runs;
-//! * [`exec`] — a topological executor over a [`exec::ToolRuntime`], with
+//! * [`value`] — the Arc-shared [`Value`] model: payloads cross step
+//!   boundaries as shared JSON or native substrate artifacts, never as
+//!   deep clones;
+//! * [`exec`] — a parallel dependency-DAG executor over a
+//!   [`exec::ToolRuntime`], bit-identical for any worker count, with
 //!   quality assurance woven in (per-step format verification, emptiness
 //!   sanity checks, uncertainty accounting) rather than bolted on;
 //! * [`render`] — deterministic rendering to Python-like source text, used
@@ -20,10 +24,15 @@
 pub mod check;
 pub mod exec;
 pub mod render;
+pub mod value;
 
 pub use check::{check, TypeError};
-pub use exec::{execute, ExecutionReport, QaFinding, StepResult, ToolError, ToolRuntime, TypedValue};
+pub use exec::{
+    execute, execute_with, ExecOptions, ExecutionReport, QaFinding, StepResult, ToolError,
+    ToolRuntime, TypedValue,
+};
 pub use render::{loc, to_source};
+pub use value::{Value, ValueView};
 
 use std::collections::BTreeMap;
 

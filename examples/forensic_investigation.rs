@@ -4,16 +4,19 @@
 //! Runs the positive scenario (a real cable cut three days before "now")
 //! and the negative control (congestion with no infrastructure failure)
 //! to show the workflow both identifies the culprit and declines to blame
-//! a cable when none failed.
+//! a cable when none failed. Both scenarios serve from one engine, each
+//! with its own shared artifact store.
 //!
 //! ```text
 //! cargo run --release --example forensic_investigation
 //! ```
 
-use arachnet::{ArachNet, DeterministicExpertModel};
+use std::sync::Arc;
+
+use arachnet::{DeterministicExpertModel, Engine};
 use arachnet_repro::{run_case_study, CaseStudy};
 use toolkit::data::VerdictData;
-use toolkit::{catalog, scenarios, StandardRuntime};
+use toolkit::{catalog, scenarios};
 
 fn main() {
     // Positive case: SeaMeWe-4 fails three days before the query.
@@ -35,23 +38,25 @@ fn main() {
         }
     );
 
-    // Negative control: the same query against a congestion-only scenario.
-    let scenario = scenarios::cs4_negative_scenario();
-    let registry = catalog::standard_registry();
+    // Negative control: the same query served against a congestion-only
+    // scenario through an engine session.
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    );
+    engine.register_scenario("cs4-negative", scenarios::cs4_negative_scenario());
+    let session = engine.session("cs4-negative").expect("scenario registered");
+    let scenario = session.scenario();
     let context = catalog::query_context(&scenario.world, scenario.now, 14);
-    let model = DeterministicExpertModel::new();
-    let system = ArachNet::new(&model, registry.clone());
-    let solution = system
-        .generate(CaseStudy::Cs4ForensicRca.query(), &context)
+    let negative_run = session
+        .run(CaseStudy::Cs4ForensicRca.query(), &context)
         .expect("generation succeeds");
-    let runtime = StandardRuntime::new(scenario);
-    let report =
-        workflow::execute(&solution.workflow, &registry, &runtime, &solution.query_args());
-    let negative: VerdictData = report
+    let negative: VerdictData = negative_run
+        .report
         .outputs
         .values()
         .next()
-        .and_then(|v| serde_json::from_value(v.value.clone()).ok())
+        .and_then(|v| v.parse().ok())
         .expect("verdict output");
     println!("\n--- negative control (congestion, no cut) ---");
     println!("cable_caused: {}", negative.cable_caused);

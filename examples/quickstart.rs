@@ -1,45 +1,58 @@
-//! Quickstart: ask ArachNet a measurement question, get an executable
-//! workflow, run it.
+//! Quickstart: stand up the serving engine, open a session, ask a
+//! measurement question, get an executable workflow, run it.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use arachnet::{ArachNet, DeterministicExpertModel};
-use toolkit::{catalog, scenarios, StandardRuntime};
+use std::sync::Arc;
+
+use arachnet::{DeterministicExpertModel, Engine};
+use toolkit::{catalog, scenarios};
 
 fn main() {
-    // A synthetic Internet and a quiet measurement scenario.
-    let scenario = scenarios::cs1_scenario();
+    // The engine owns the model and publishes the capability registry as
+    // epoch 0; scenarios register once and their artifacts are shared by
+    // every session.
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    );
+    engine.register_scenario("quiet", scenarios::cs1_scenario());
+
+    // A session pins the current registry epoch and the scenario.
+    let session = engine.session("quiet").expect("scenario registered");
+    let scenario = session.scenario();
     let context = catalog::query_context(&scenario.world, scenario.now, 10);
 
-    // The four-agent system over the standard capability registry.
-    let model = DeterministicExpertModel::new();
-    let system = ArachNet::new(&model, catalog::standard_registry());
-
-    // Natural-language in, executable workflow out.
+    // Natural-language in, executed workflow out.
     let query = "Identify the impact at a country level due to SeaMeWe-5 cable failure";
-    let solution = system.generate(query, &context).expect("generation succeeds");
+    let run = session.run(query, &context).expect("generation succeeds");
 
     println!("query: {query}\n");
-    println!("intent: {:?}", solution.decomposition.intent);
+    println!("epoch: {}", session.epoch_sequence());
+    println!("intent: {:?}", run.solution.decomposition.intent);
     println!("sub-problems:");
-    for sp in &solution.decomposition.sub_problems {
+    for sp in &run.solution.decomposition.sub_problems {
         println!("  - {} -> {}", sp.description, sp.target);
     }
-    println!("\nworkflow ({} steps, {} LoC rendered):", solution.workflow.steps.len(), solution.loc);
-    for step in &solution.workflow.steps {
+    println!(
+        "\nworkflow ({} steps, {} LoC rendered):",
+        run.solution.workflow.steps.len(),
+        run.solution.loc
+    );
+    for step in &run.solution.workflow.steps {
         println!("  {} = {}", step.id, step.function);
     }
 
-    // Execute against the measurement substrates.
-    let registry = catalog::standard_registry();
-    let runtime = StandardRuntime::new(scenario);
-    let report = workflow::execute(&solution.workflow, &registry, &runtime, &solution.query_args());
-    println!("\nexecution: {} steps ok, {} failed", report.executed - report.failed, report.failed);
-    for (id, value) in &report.outputs {
+    println!(
+        "\nexecution: {} steps ok, {} failed",
+        run.report.executed - run.report.failed,
+        run.report.failed
+    );
+    for (id, value) in &run.report.outputs {
         let table: toolkit::data::CountryTableData =
-            serde_json::from_value(value.value.clone()).expect("country table output");
+            value.parse().expect("country table output");
         println!("\noutput {id}: top impacted countries");
         for row in table.rows.iter().take(5) {
             println!("  {}  score={:.3}  links={}", row.country, row.impact_score, row.links_affected);

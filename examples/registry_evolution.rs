@@ -1,45 +1,68 @@
-//! RegistryCurator in action: run workflows, mine the successful ones for
-//! reusable patterns, validate, grow the registry, and regenerate — the
-//! paper's "systematic registry evolution".
+//! RegistryCurator in action, epoch-style: run workflows, mine the
+//! successful ones for reusable patterns, validate, and publish the grown
+//! registry as a **new epoch** — while a session opened before curation
+//! keeps executing against its pinned snapshot, never blocked, never
+//! observing a half-curated registry.
 //!
 //! ```text
 //! cargo run --release --example registry_evolution
 //! ```
 
-use arachnet::{ArachNet, DeterministicExpertModel};
+use std::sync::Arc;
+
+use arachnet::{DeterministicExpertModel, Engine};
 use arachnet_repro::CaseStudy;
 use toolkit::{catalog, scenarios};
 
 fn main() {
-    let scenario = scenarios::cs2_scenario();
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    );
+    engine.register_scenario("cs2", scenarios::cs2_scenario());
+
+    let old_session = engine.session("cs2").expect("scenario registered");
+    let scenario = old_session.scenario();
     let context = catalog::query_context(&scenario.world, scenario.now, 10);
-    let model = DeterministicExpertModel::new();
-    let mut system = ArachNet::new(&model, catalog::standard_registry());
 
     let query = CaseStudy::Cs2DisasterImpact.query();
-    let before = system.generate(query, &context).expect("generation succeeds");
-    println!("before curation: {} steps, registry has {} entries",
+    let before = old_session.generate(query, &context).expect("generation succeeds");
+    println!(
+        "epoch {}: {} steps, registry has {} entries",
+        old_session.epoch_sequence(),
         before.workflow.steps.len(),
-        system.registry().len());
+        old_session.registry().len()
+    );
 
-    // Simulate a history of successful runs.
+    // Simulate a history of successful runs, then curate. `curate` takes
+    // `&self`: it builds the next registry off-line and swaps the epoch.
     let corpus = vec![before.summary(true), before.summary(true), before.summary(true)];
-    let outcome = system.curate(&corpus, 2).expect("curation succeeds");
+    let outcome = engine.curate(&corpus, 2).expect("curation succeeds");
     println!("\ncurator proposals:");
+    let current = engine.registry();
     for added in &outcome.added {
-        let entry = system.registry().get(added).expect("registered");
+        let entry = current.get(added).expect("registered");
         println!("  + {added}: {}", entry.capability);
     }
     for (pattern, why) in outcome.rejected.iter().take(5) {
         println!("  - rejected {pattern}: {why}");
     }
 
-    let after = system.generate(query, &context).expect("generation succeeds");
+    // The old session still pins the pre-curation snapshot...
     println!(
-        "\nafter curation: {} steps (was {}), registry has {} entries",
+        "\nold session still pins epoch {} ({} entries) — in-flight work is undisturbed",
+        old_session.epoch_sequence(),
+        old_session.registry().len()
+    );
+    // ...while a fresh session sees the published epoch.
+    let new_session = engine.session("cs2").expect("scenario registered");
+    let after = new_session.generate(query, &context).expect("generation succeeds");
+    println!(
+        "new session pins epoch {}: {} steps (was {}), registry has {} entries",
+        new_session.epoch_sequence(),
         after.workflow.steps.len(),
         before.workflow.steps.len(),
-        system.registry().len()
+        new_session.registry().len()
     );
     println!("\nnew workflow:");
     for step in &after.workflow.steps {

@@ -1,41 +1,44 @@
 //! A fifth query family beyond the paper's case studies: country
 //! resilience profiling ("How resilient is Singapore to cable
-//! failures?"). Exercises the RiskAssessment intent end to end —
-//! generation, execution, and the per-country concentration metrics.
+//! failures?"). Exercises the RiskAssessment intent end to end through an
+//! engine session — generation, DAG execution, and the per-country
+//! concentration metrics.
 //!
 //! ```text
 //! cargo run --release --example resilience_profile
 //! ```
 
-use arachnet::{ArachNet, DeterministicExpertModel};
-use toolkit::{catalog, scenarios, StandardRuntime};
+use std::sync::Arc;
+
+use arachnet::{DeterministicExpertModel, Engine};
+use toolkit::{catalog, scenarios};
 
 fn main() {
-    let scenario = scenarios::cs1_scenario();
-    let registry = catalog::standard_registry();
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    );
+    engine.register_scenario("quiet", scenarios::cs1_scenario());
+    let session = engine.session("quiet").expect("scenario registered");
+    let scenario = session.scenario();
     let context = catalog::query_context(&scenario.world, scenario.now, 10);
-    let model = DeterministicExpertModel::new();
-    let system = ArachNet::new(&model, registry.clone());
 
     let query = "How resilient is Singapore to submarine cable failures?";
-    let solution = system.generate(query, &context).expect("generation succeeds");
+    let run = session.run(query, &context).expect("generation succeeds");
     println!("query: {query}");
-    println!("intent: {:?}", solution.decomposition.intent);
+    println!("intent: {:?}", run.solution.decomposition.intent);
     println!("workflow:");
-    for step in &solution.workflow.steps {
+    for step in &run.solution.workflow.steps {
         println!("  {} = {}", step.id, step.function);
     }
+    assert!(run.report.all_ok(), "qa: {:?}", run.report.qa);
 
-    let runtime = StandardRuntime::new(scenario);
-    let report =
-        workflow::execute(&solution.workflow, &registry, &runtime, &solution.query_args());
-    assert!(report.all_ok(), "qa: {:?}", report.qa);
-
-    let profiles: Vec<xaminer_sim::CountryRiskProfile> = report
+    let profiles: Vec<xaminer_sim::CountryRiskProfile> = run
+        .report
         .outputs
         .values()
         .next()
-        .and_then(|v| serde_json::from_value(v.value.clone()).ok())
+        .and_then(|v| v.parse().ok())
         .expect("risk profiles output");
 
     println!("\nmost cable-dependent economies (by concentration):");
@@ -43,7 +46,7 @@ fn main() {
     for p in profiles.iter().take(10) {
         let critical = p
             .most_critical
-            .map(|c| scenario_name(&runtime, c))
+            .map(|c| scenario.world.cable(c).name.clone())
             .unwrap_or_else(|| "-".into());
         println!(
             "{:<24} {:>7} {:>8.3}   {}",
@@ -62,8 +65,4 @@ fn main() {
             sg.concentration_hhi
         );
     }
-}
-
-fn scenario_name(runtime: &StandardRuntime, cable: net_model::CableId) -> String {
-    runtime.scenario().world.cable(cable).name.clone()
 }

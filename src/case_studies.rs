@@ -13,12 +13,13 @@
 //! returns everything needed for comparison.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use arachnet::{ArachNet, DeterministicExpertModel, GeneratedSolution};
+use arachnet::{DeterministicExpertModel, Engine, GeneratedSolution};
 use baselines::expert::{expert_args, expert_cs1, expert_cs2, expert_cs3, expert_cs4};
 use registry::Registry;
-use toolkit::{catalog, scenarios, StandardRuntime};
-use workflow::{execute, ExecutionReport, TypedValue, Workflow};
+use toolkit::{catalog, scenarios};
+use workflow::{execute, ExecutionReport, Value, Workflow};
 
 /// The four case studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,44 +132,57 @@ pub struct CaseStudyRun {
 
 impl CaseStudyRun {
     /// The generated workflow's single declared output, parsed as `T`.
-    pub fn output_as<T: serde::de::DeserializeOwned>(&self) -> Option<T> {
-        let value = self.report.outputs.values().next()?;
-        serde_json::from_value(value.value.clone()).ok()
+    pub fn output_as<T: serde::de::DeserializeOwned + Clone + 'static>(&self) -> Option<T> {
+        self.report.outputs.values().next()?.parse().ok()
     }
 
     /// The expert workflow's single declared output, parsed as `T`.
-    pub fn expert_output_as<T: serde::de::DeserializeOwned>(&self) -> Option<T> {
-        let value = self.expert_report.outputs.values().next()?;
-        serde_json::from_value(value.value.clone()).ok()
+    pub fn expert_output_as<T: serde::de::DeserializeOwned + Clone + 'static>(&self) -> Option<T> {
+        self.expert_report.outputs.values().next()?.parse().ok()
     }
 }
 
-/// Runs a full case study: generate, execute, run the expert baseline.
+/// Builds a serving engine for one case study: the case's registry as
+/// epoch 0 and its scenario registered under `cs<index>`.
+pub fn case_study_engine(case: CaseStudy) -> Engine {
+    let engine = Engine::new(Arc::new(DeterministicExpertModel::new()), case.registry());
+    engine.register_scenario(&format!("cs{}", case.index()), case.scenario());
+    engine
+}
+
+/// Runs a full case study: generate, execute, run the expert baseline —
+/// through an engine session, so the generated and the expert workflow
+/// share one artifact store.
 pub fn run_case_study(case: CaseStudy) -> CaseStudyRun {
-    let scenario = case.scenario();
-    let registry = case.registry();
-    let horizon_days =
-        scenario.horizon.duration().as_seconds() / 86_400;
+    let engine = case_study_engine(case);
+    let session = engine
+        .session(&format!("cs{}", case.index()))
+        .expect("scenario registered at engine build time");
+    let scenario = session.scenario();
+    let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
     let context = catalog::query_context(&scenario.world, scenario.now, horizon_days);
 
-    let model = DeterministicExpertModel::new();
-    let system = ArachNet::new(&model, registry.clone());
-    let solution = system
-        .generate(case.query(), &context)
+    let run = session
+        .run(case.query(), &context)
         .unwrap_or_else(|e| panic!("case study {} generation failed: {e}", case.index()));
 
-    let runtime = StandardRuntime::new(scenario);
-    let args = solution.query_args();
-    let report = execute(&solution.workflow, &registry, &runtime, &args);
-
-    // The expert runs with the full catalog (experts are never restricted).
+    // The expert runs with the full catalog (experts are never restricted)
+    // but against the same session-shared artifacts.
     let full_registry = catalog::standard_registry();
     let expert_workflow = case.expert_workflow();
-    let expert_args: BTreeMap<String, TypedValue> =
-        expert_args(case.index(), runtime.scenario().now.seconds_since_epoch());
-    let expert_report = execute(&expert_workflow, &full_registry, &runtime, &expert_args);
+    let expert_args: BTreeMap<String, Value> =
+        expert_args(case.index(), scenario.now.seconds_since_epoch());
+    let expert_report =
+        execute(&expert_workflow, &full_registry, &session.runtime(), &expert_args);
 
-    CaseStudyRun { case, solution, report, expert_workflow, expert_report, registry }
+    CaseStudyRun {
+        case,
+        solution: run.solution,
+        report: run.report,
+        expert_workflow,
+        expert_report,
+        registry: case.registry(),
+    }
 }
 
 #[cfg(test)]

@@ -8,4 +8,4 @@
 
 pub mod case_studies;
 
-pub use case_studies::{run_case_study, CaseStudy, CaseStudyRun};
+pub use case_studies::{case_study_engine, run_case_study, CaseStudy, CaseStudyRun};

@@ -145,7 +145,7 @@ fn cs4_negative_control_declines_to_blame() {
         .outputs
         .values()
         .next()
-        .and_then(|v| serde_json::from_value(v.value.clone()).ok())
+        .and_then(|v| v.parse().ok())
         .expect("verdict output");
     assert!(
         !verdict.cable_caused,
