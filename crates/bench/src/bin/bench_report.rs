@@ -1,6 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr3.json` at the repo root (and
-//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`).
+//! serving hot paths, written as `BENCH_pr4.json` at the repo root (and
+//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
+//! and `BENCH_pr3.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -9,15 +10,22 @@
 //!
 //! Unlike the criterion benches (statistical, interactive), this is the
 //! cheap comparable record each PR leaves behind: one JSON file with a
-//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr3`
-//! repeats every `BENCH_pr2` row and adds the PR 3 serving rows:
+//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr4`
+//! repeats every `BENCH_pr2`/`BENCH_pr3` row and adds the scenario-forge
+//! rows:
 //!
 //! * `workflow/exec_dag` — the parallel DAG executor on a fan-out
 //!   workload, max workers vs 1 worker (measured in-tree, like the
 //!   routing row measures the retained seed engine);
 //! * `engine/concurrent_sessions` — N cold-cache queries served
 //!   end-to-end (generate + execute) through engine sessions, max
-//!   session threads vs 1.
+//!   session threads vs 1;
+//! * `world/generate_cold` / `world/generate_cached` — one full world
+//!   generation vs a content-addressed cache hit on the same config;
+//! * `forge/register_family_fleet` — registering every scenario family's
+//!   fleet through `Engine::register_family` (worlds deduplicated by the
+//!   cache) vs realizing the same fleet with one cold generation per
+//!   scenario.
 
 use std::time::Instant;
 
@@ -47,7 +55,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -193,8 +201,66 @@ fn main() {
         "thread_scaling": serve_shared_seq / serve_shared_par,
     }));
 
+    // --- PR 4: content-addressed world cache -----------------------------
+    // One full world generation (the serving stack's cold-start cost)
+    // vs a cache hit on the same config: the hit is an Arc bump behind a
+    // short map lock, so N scenarios naming one config pay one build.
+    let world_config = WorldConfig::default();
+    let generate_cold = median_ms(5, || generate(&world_config).links.len());
+    let world_cache = arachnet::WorldCache::new();
+    world_cache.get_or_generate(&world_config); // warm the slot
+    let generate_cached =
+        median_ms(200, || world_cache.get_or_generate(&world_config).links.len());
+    benchmarks.push(bench("world/generate_cold", generate_cold));
+    benchmarks.push(json!({
+        "id": "world/generate_cached",
+        "median_ms": generate_cached,
+        "baseline": "one full world generation (world/generate_cold)",
+        "baseline_median_ms": generate_cold,
+        "speedup": generate_cold / generate_cached,
+    }));
+
+    // --- PR 4: whole-fleet registration through Engine::register_family --
+    // Every family's fleet in one call, worlds deduplicated through the
+    // engine's cache; the baseline realizes the same blueprints with one
+    // cold generation per scenario (what scenario authoring cost before
+    // the forge).
+    let fleet_params = arachnet::FamilyParams::default();
+    let fleet_size: usize =
+        arachnet::Family::ALL.iter().map(|f| f.expand(&fleet_params).len()).sum();
+    // Registry and model construction stay outside the timed closure —
+    // only engine setup + fleet registration is the path under test.
+    let fleet_model = std::sync::Arc::new(llm::DeterministicExpertModel::new());
+    let fleet_registry = benchkit::padded_registry(40);
+    let fleet_cached = median_ms(3, || {
+        let engine = arachnet::Engine::new(
+            std::sync::Arc::clone(&fleet_model) as std::sync::Arc<dyn llm::LanguageModel>,
+            fleet_registry.clone(),
+        );
+        engine.register_families(&arachnet::Family::ALL, &fleet_params).len()
+    });
+    let fleet_cold = median_ms(1, || {
+        arachnet::Family::ALL
+            .iter()
+            .flat_map(|f| f.expand(&fleet_params))
+            .map(|bp| {
+                bp.realize(std::sync::Arc::new(generate(&bp.config))).events.len()
+            })
+            .sum::<usize>()
+    });
+    let family_count = arachnet::Family::ALL.len();
+    benchmarks.push(json!({
+        "id": "forge/register_family_fleet",
+        "median_ms": fleet_cached,
+        "baseline": "one cold world generation per scenario (no cache)",
+        "baseline_median_ms": fleet_cold,
+        "scenarios": fleet_size,
+        "families": family_count,
+        "speedup": fleet_cold / fleet_cached,
+    }));
+
     let report = json!({
-        "pr": 3,
+        "pr": 4,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

@@ -25,6 +25,7 @@ use llm::protocol::{QueryContext, WorkflowSummary};
 use llm::LanguageModel;
 use parking_lot::{Mutex, RwLock};
 use registry::Registry;
+use scenario_forge::{Family, FamilyParams, WorldCache};
 use toolkit::{ArtifactStore, StandardRuntime};
 use workflow::{execute_with, ExecOptions, ExecutionReport, Value, Workflow};
 use world::Scenario;
@@ -62,6 +63,42 @@ pub struct Engine {
     /// write-lock the readers ever contend with.
     curation: Mutex<()>,
     scenarios: Mutex<BTreeMap<String, ScenarioSlot>>,
+    /// Content-addressed `Arc<World>` cache: every scenario registered
+    /// through [`Engine::register_family`] whose config matches an
+    /// already-generated world shares that world.
+    worlds: WorldCache,
+}
+
+/// Outcome of [`Engine::register_scenario`].
+#[derive(Clone)]
+pub struct ScenarioRegistration {
+    /// The scenario now serving the key — the existing one when a slot
+    /// was kept, the offered one otherwise.
+    pub scenario: Arc<Scenario>,
+    /// Whether an existing slot (and its warm artifact store) was kept.
+    pub kept_existing: bool,
+    /// Whether the offered scenario matches the slot now serving the key
+    /// (spec-compared); always `true` for fresh registrations. `false`
+    /// means a re-registration offered a *different* timeline and was
+    /// ignored — logged, because it is almost always a key-collision bug.
+    pub matched: bool,
+}
+
+/// One scenario of a family fleet, as registered by
+/// [`Engine::register_family`].
+#[derive(Clone)]
+pub struct FamilyScenario {
+    /// Engine key: `"<family-id>/<blueprint-name>"`.
+    pub key: String,
+    /// The registered (shared) scenario.
+    pub scenario: Arc<Scenario>,
+    /// Whether this key was newly registered (false: fleet re-registered).
+    pub fresh: bool,
+    /// Whether the forged blueprint matches the scenario now serving the
+    /// key (see [`ScenarioRegistration::matched`]). `false` means an
+    /// earlier fleet with colliding keys but a *different* timeline
+    /// (e.g. same seed, different intensity) still serves this key.
+    pub matched: bool,
 }
 
 impl Engine {
@@ -79,6 +116,7 @@ impl Engine {
             })),
             curation: Mutex::new(()),
             scenarios: Mutex::new(BTreeMap::new()),
+            worlds: WorldCache::new(),
         }
     }
 
@@ -99,14 +137,77 @@ impl Engine {
     }
 
     /// Registers a scenario under `key` (idempotent: an existing slot —
-    /// and its artifact store — is kept). Returns the shared scenario.
-    pub fn register_scenario(&self, key: &str, scenario: Scenario) -> Arc<Scenario> {
+    /// and its warm artifact store — is kept). The returned
+    /// [`ScenarioRegistration`] says whether the existing slot was kept
+    /// and whether the offered scenario matched it; a kept-but-different
+    /// re-registration is logged, since silently dropping a *different*
+    /// timeline under a reused key is almost always a bug.
+    pub fn register_scenario(&self, key: &str, scenario: Scenario) -> ScenarioRegistration {
         let mut scenarios = self.scenarios.lock();
-        let slot = scenarios.entry(key.to_string()).or_insert_with(|| ScenarioSlot {
-            scenario: Arc::new(scenario),
-            artifacts: Arc::new(ArtifactStore::new()),
-        });
-        Arc::clone(&slot.scenario)
+        match scenarios.entry(key.to_string()) {
+            std::collections::btree_map::Entry::Occupied(slot) => {
+                let existing = Arc::clone(&slot.get().scenario);
+                let matched = existing.spec() == scenario.spec();
+                if !matched {
+                    eprintln!(
+                        "engine: scenario key {key:?} re-registered with a different \
+                         timeline; keeping the existing slot"
+                    );
+                }
+                ScenarioRegistration { scenario: existing, kept_existing: true, matched }
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                let scenario = Arc::new(scenario);
+                slot.insert(ScenarioSlot {
+                    scenario: Arc::clone(&scenario),
+                    artifacts: Arc::new(ArtifactStore::new()),
+                });
+                ScenarioRegistration { scenario, kept_existing: false, matched: true }
+            }
+        }
+    }
+
+    /// Registers a whole scenario family fleet in one call: expands the
+    /// family's blueprints, generates their worlds through the engine's
+    /// content-addressed [`WorldCache`] (N scenarios sharing a config
+    /// pay one generation and hold the *same* `Arc<World>`), and
+    /// registers each scenario under `"<family-id>/<blueprint-name>"`.
+    /// Sessions opened against any of the keys work unchanged.
+    pub fn register_family(
+        &self,
+        family: Family,
+        params: &FamilyParams,
+    ) -> Vec<FamilyScenario> {
+        family
+            .expand(params)
+            .iter()
+            .map(|blueprint| {
+                let key = format!("{}/{}", family.id(), blueprint.name);
+                let registration = self.register_scenario(&key, blueprint.forge(&self.worlds));
+                FamilyScenario {
+                    key,
+                    scenario: registration.scenario,
+                    fresh: !registration.kept_existing,
+                    matched: registration.matched,
+                }
+            })
+            .collect()
+    }
+
+    /// Registers several families at once (see [`Engine::register_family`]);
+    /// worlds are deduplicated across the whole fleet.
+    pub fn register_families(
+        &self,
+        families: &[Family],
+        params: &FamilyParams,
+    ) -> Vec<FamilyScenario> {
+        families.iter().flat_map(|f| self.register_family(*f, params)).collect()
+    }
+
+    /// The engine's content-addressed world cache (diagnostics: distinct
+    /// worlds held, worlds actually generated).
+    pub fn world_cache(&self) -> &WorldCache {
+        &self.worlds
     }
 
     /// Scenario keys currently registered.
@@ -333,6 +434,98 @@ mod tests {
     }
 
     #[test]
+    fn re_registration_reports_kept_slot_and_mismatch() {
+        let engine = engine();
+        let fresh = engine.register_scenario("alt", scenarios::cs3_scenario());
+        assert!(!fresh.kept_existing);
+        assert!(fresh.matched);
+
+        // Same timeline again: kept, and it matches.
+        let same = engine.register_scenario("alt", scenarios::cs3_scenario());
+        assert!(same.kept_existing);
+        assert!(same.matched);
+        assert!(Arc::ptr_eq(&same.scenario, &fresh.scenario));
+
+        // A *different* timeline under the same key: kept (old slot and
+        // its artifacts win) but flagged as a mismatch.
+        let clash = engine.register_scenario("alt", scenarios::cs4_scenario());
+        assert!(clash.kept_existing);
+        assert!(!clash.matched);
+        assert!(Arc::ptr_eq(&clash.scenario, &fresh.scenario));
+        assert_eq!(
+            clash.scenario.spec(),
+            fresh.scenario.spec(),
+            "the existing timeline still serves the key"
+        );
+    }
+
+    #[test]
+    fn same_seed_different_config_is_still_a_mismatch() {
+        // World identity is the full config, not the seed: two quiet
+        // scenarios over same-seed worlds that differ in another knob
+        // must not compare as matching re-registrations.
+        let engine = engine();
+        let base = world::Scenario::quiet(
+            world::generate(&world::WorldConfig::default()),
+            10,
+        );
+        let denser = world::Scenario::quiet(
+            world::generate(&world::WorldConfig {
+                probe_scale: 2.0,
+                ..world::WorldConfig::default()
+            }),
+            10,
+        );
+        assert!(!engine.register_scenario("cfg", base).kept_existing);
+        let clash = engine.register_scenario("cfg", denser);
+        assert!(clash.kept_existing);
+        assert!(!clash.matched);
+    }
+
+    #[test]
+    fn family_fleet_shares_cached_worlds_across_scenarios() {
+        let engine = engine();
+        let params = scenario_forge::FamilyParams::default();
+        let blackout =
+            engine.register_family(scenario_forge::Family::RegionalBlackout, &params);
+        let cascade =
+            engine.register_family(scenario_forge::Family::CableCutCascade, &params);
+        assert_eq!(blackout.len(), params.variants);
+        assert!(blackout.iter().all(|s| s.fresh));
+
+        // Both families script events over the same world config, so every
+        // scenario holds the *same* Arc<World>: one generation total.
+        for s in blackout.iter().chain(&cascade) {
+            assert!(Arc::ptr_eq(&s.scenario.world, &blackout[0].scenario.world));
+        }
+        assert_eq!(engine.world_cache().generations(), 1);
+
+        // Sessions open against family keys unchanged, and pin the same
+        // shared world.
+        let session = engine.session(&blackout[0].key).unwrap();
+        assert!(Arc::ptr_eq(&session.scenario().world, &blackout[0].scenario.world));
+
+        // Re-registering the fleet is idempotent: nothing fresh, nothing
+        // regenerated, and every kept slot matches the offered timeline.
+        let again = engine.register_family(scenario_forge::Family::RegionalBlackout, &params);
+        assert!(again.iter().all(|s| !s.fresh && s.matched));
+        assert_eq!(engine.world_cache().generations(), 1);
+
+        // Same seed, different intensity: the blueprint names (and thus
+        // keys) collide while the scripts differ — the kept slots must
+        // surface the mismatch per scenario.
+        let hotter = scenario_forge::FamilyParams { intensity: 1.0, ..params.clone() };
+        let clash = engine.register_family(scenario_forge::Family::RegionalBlackout, &hotter);
+        assert!(clash.iter().all(|s| !s.fresh && !s.matched));
+
+        // A world-structure family names distinct configs → distinct worlds.
+        let depeered =
+            engine.register_family(scenario_forge::Family::TransitDePeering, &params);
+        assert_eq!(engine.world_cache().generations(), 1 + params.variants);
+        assert!(!Arc::ptr_eq(&depeered[0].scenario.world, &blackout[0].scenario.world));
+    }
+
+    #[test]
     fn curation_publishes_a_new_epoch_without_touching_open_sessions() {
         let engine = engine();
         let old_session = engine.session("cs2").unwrap();
@@ -379,6 +572,41 @@ mod tests {
         // Second pass mines nothing new → no epoch churn.
         engine.curate(&corpus, 2).unwrap();
         assert_eq!(engine.epoch().sequence, 1);
+    }
+
+    #[test]
+    fn family_registration_generates_once_at_any_thread_count() {
+        for threads in [1usize, 2, 8] {
+            let engine = engine();
+            let params = scenario_forge::FamilyParams {
+                seed: 2000 + threads as u64,
+                ..scenario_forge::FamilyParams::default()
+            };
+            let fleets: Vec<Vec<FamilyScenario>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let engine = &engine;
+                        let params = &params;
+                        scope.spawn(move || {
+                            engine.register_family(
+                                scenario_forge::Family::CableCutCascade,
+                                params,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            // However many threads raced, the world was generated once and
+            // every fleet's scenarios pin the same Arc<World>.
+            assert_eq!(engine.world_cache().generations(), 1, "{threads} threads");
+            let first = &fleets[0][0].scenario;
+            for fleet in &fleets {
+                for s in fleet {
+                    assert!(Arc::ptr_eq(&s.scenario.world, &first.world));
+                }
+            }
+        }
     }
 
     #[test]

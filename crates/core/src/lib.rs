@@ -28,10 +28,16 @@ pub mod ensemble;
 pub mod orchestrator;
 
 pub use agents::{AgentConfig, AgentError};
-pub use engine::{Engine, RegistryEpoch, Session, SessionRun};
+pub use engine::{
+    Engine, FamilyScenario, RegistryEpoch, ScenarioRegistration, Session, SessionRun,
+};
 pub use ensemble::{EnsembleReport, FunctionAgreement, SolutionSource};
 pub use orchestrator::{ArachNet, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError};
 
 // Re-export the protocol so downstream users see one coherent API.
 pub use llm::protocol;
 pub use llm::{DeterministicExpertModel, LanguageModel};
+
+// Re-export the scenario-forge surface the engine integrates
+// ([`Engine::register_family`]) so fleet registration needs one import.
+pub use scenario_forge::{Family, FamilyParams, ScenarioBlueprint, WorldCache};

@@ -1,0 +1,127 @@
+//! The content-addressed world cache.
+//!
+//! [`world::generate`] is the serving stack's remaining cold-start cost:
+//! a full world (physical + network + measurement layers) takes hundreds
+//! of milliseconds to build. Scenario families multiply scenarios much
+//! faster than they multiply *worlds* — a ten-scenario fleet typically
+//! names two or three distinct [`WorldConfig`]s — so the cache keys
+//! generated worlds by the config's bit-exact content identity
+//! ([`WorldConfig::canonical_bits`]) and hands every matching request
+//! the same `Arc<World>`.
+//!
+//! Slots are build-once `OnceLock`s behind a short-lived map lock, the
+//! same shape as `toolkit::ArtifactStore`: the slot map is only locked
+//! long enough to clone a slot handle, and concurrent requesters for
+//! one config block on that slot's single builder instead of generating
+//! the world twice. Generation is infallible, so unlike the artifact
+//! store there is no error-eviction path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use world::{generate, World, WorldConfig};
+
+/// One build-once world slot.
+type WorldSlot = Arc<OnceLock<Arc<World>>>;
+
+/// A concurrent, shareable cache of generated worlds, content-addressed
+/// by [`WorldConfig`]. A hit is a pointer bump; a miss generates exactly
+/// once no matter how many threads race on the same config.
+#[derive(Default)]
+pub struct WorldCache {
+    slots: Mutex<BTreeMap<WorldConfig, WorldSlot>>,
+    /// How many worlds have actually been generated (diagnostics: the
+    /// cache-sharing tests and the bench trajectory read this).
+    generations: AtomicUsize,
+}
+
+impl WorldCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WorldCache::default()
+    }
+
+    /// The shared world for `config`, generating (once) on a miss.
+    pub fn get_or_generate(&self, config: &WorldConfig) -> Arc<World> {
+        let slot = Arc::clone(self.slots.lock().entry(config.clone()).or_default());
+        Arc::clone(slot.get_or_init(|| {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(generate(config))
+        }))
+    }
+
+    /// The cached world for `config`, if one is already built.
+    pub fn get(&self, config: &WorldConfig) -> Option<Arc<World>> {
+        let slot = Arc::clone(self.slots.lock().get(config)?);
+        slot.get().cloned()
+    }
+
+    /// Number of distinct configs with a slot (built or being built).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// How many worlds this cache has actually generated — stays below
+    /// [`WorldCache::len`]-many requests whenever configs repeat.
+    pub fn generations(&self) -> usize {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Content hashes of every cached config, ascending (diagnostics).
+    pub fn content_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> =
+            self.slots.lock().keys().map(|c| c.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes
+    }
+}
+
+/// The process-wide world cache. `toolkit::scenarios` routes the
+/// standard evaluation world through it, so case studies, benches and
+/// engine fleets in one process all share a single generation per
+/// config.
+pub fn global_cache() -> &'static WorldCache {
+    static CACHE: OnceLock<WorldCache> = OnceLock::new();
+    CACHE.get_or_init(WorldCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_same_arc_and_generates_once() {
+        let cache = WorldCache::new();
+        let config = WorldConfig { seed: 7, ..WorldConfig::default() };
+        let a = cache.get_or_generate(&config);
+        let b = cache.get_or_generate(&config);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generations(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&config).is_some());
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_worlds() {
+        let cache = WorldCache::new();
+        let a = cache.get_or_generate(&WorldConfig { seed: 1, ..WorldConfig::default() });
+        let b = cache.get_or_generate(&WorldConfig { seed: 2, ..WorldConfig::default() });
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generations(), 2);
+        assert_eq!(cache.content_hashes().len(), 2);
+    }
+
+    #[test]
+    fn get_misses_before_generation() {
+        let cache = WorldCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(&WorldConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! # scenario-forge — parameterized scenario families over cached worlds
+//!
+//! The workflow engine is only as useful as the breadth of measurement
+//! scenarios it can pose. This crate turns scenario authoring from
+//! "hand-seed one world, hand-place one event" into a **library of
+//! deterministic, parameterized scenario families**:
+//!
+//! * a [`Family`] is a named generator (regional blackout, multi-cable
+//!   cut cascade, national censorship, transit de-peering, IXP outage,
+//!   seasonal eyeball growth, submarine-cable repair window, corridor
+//!   congestion storm, festoon buildout) that expands a [`FamilyParams`]
+//!   into a fleet of [`ScenarioBlueprint`]s;
+//! * a [`ScenarioBlueprint`] is pure data: a [`world::WorldConfig`]
+//!   naming the world, plus an **event script** ([`ScriptStep`]) whose
+//!   targets ("the top-2 Europe–Asia corridor cables", "every cable
+//!   landing in Egypt", "the Asian region hub") resolve against the
+//!   generated world deterministically;
+//! * the [`WorldCache`] is a **content-addressed** `Arc<World>` cache
+//!   keyed by the config's bit-exact identity: N blueprints that share a
+//!   config pay for one generation, and every realized scenario holds
+//!   the *same* `Arc<World>` (witnessed by `Arc::ptr_eq`). Slots are
+//!   build-once `OnceLock`s, the same shape as `toolkit::ArtifactStore`:
+//!   concurrent requesters for one config block on the single builder
+//!   instead of duplicating the (hundreds of milliseconds) generation.
+//!
+//! Everything is a pure function of [`FamilyParams`]: equal params
+//! expand to byte-identical blueprints and realize byte-identical
+//! scenarios, across runs and platforms — the property the
+//! `forge_determinism` suite pins.
+
+pub mod blueprint;
+pub mod cache;
+pub mod families;
+pub mod script;
+
+pub use blueprint::ScenarioBlueprint;
+pub use cache::{global_cache, WorldCache};
+pub use families::{Family, FamilyParams};
+pub use script::{CableTarget, DisasterSite, ScriptStep};

@@ -1,0 +1,245 @@
+//! Event scripts: world-independent descriptions of what goes wrong.
+//!
+//! A family cannot name a [`world::Event`] directly — event kinds carry
+//! dense ids (`CableId`) that only exist once a world is generated, and
+//! which world that is depends on the blueprint's config. A
+//! [`ScriptStep`] therefore names its targets *structurally* ("the
+//! cables landing in Egypt", "the top-2 Europe–Asia corridor systems",
+//! "the Asian region hub") and resolves against a concrete [`World`]
+//! deterministically: same world, same script, same events — always.
+
+use net_model::{CableId, Country, GeoPoint, Region, SimDuration, SimTime};
+use net_model::geo::GeoCircle;
+use serde::{Deserialize, Serialize};
+use world::{EventKind, World};
+
+/// Which cables a cut targets. Resolution is total (unknown names or
+/// out-of-range ranks resolve to no cables) and deterministic (results
+/// in ascending [`CableId`] order, corridor ranks by descending
+/// capacity with id as tie-break).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CableTarget {
+    /// A cable by its (case-insensitive) name, e.g. `"SeaMeWe-5"`.
+    Named(String),
+    /// Every cable with at least one landing in the country.
+    LandingIn(Country),
+    /// The `rank`-th (0-based) cable on the corridor between two
+    /// regions, ranked by descending capacity then ascending id.
+    CorridorRank { a: Region, b: Region, rank: usize },
+}
+
+impl CableTarget {
+    /// The cables this target names in `world`, ascending id.
+    pub fn resolve(&self, world: &World) -> Vec<CableId> {
+        match self {
+            CableTarget::Named(name) => {
+                world.cable_by_name(name).map(|c| c.id).into_iter().collect()
+            }
+            CableTarget::LandingIn(country) => world
+                .cables
+                .iter()
+                .filter(|c| {
+                    c.landings.iter().any(|&city| world.city(city).country == *country)
+                })
+                .map(|c| c.id)
+                .collect(),
+            CableTarget::CorridorRank { a, b, rank } => {
+                let mut corridor: Vec<&world::Cable> = world
+                    .cables
+                    .iter()
+                    .filter(|c| {
+                        let touches = |r: Region| {
+                            c.landings.iter().any(|&city| world.city(city).region == r)
+                        };
+                        touches(*a) && touches(*b)
+                    })
+                    .collect();
+                corridor.sort_by(|x, y| {
+                    y.capacity_tbps
+                        .partial_cmp(&x.capacity_tbps)
+                        .expect("cable capacities are finite")
+                        .then(x.id.cmp(&y.id))
+                });
+                corridor.get(*rank).map(|c| c.id).into_iter().collect()
+            }
+        }
+    }
+}
+
+/// Where a disaster footprint is centred.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DisasterSite {
+    /// An explicit coordinate.
+    Fixed(GeoPoint),
+    /// The region's hub city (the world generator's interconnection
+    /// anchor for that region).
+    RegionHub(Region),
+}
+
+impl DisasterSite {
+    /// The concrete centre in `world`.
+    pub fn resolve(&self, world: &World) -> GeoPoint {
+        match self {
+            DisasterSite::Fixed(p) => *p,
+            DisasterSite::RegionHub(region) => {
+                let hub = world::cities::region_hub(&world.cities, *region);
+                world.city(hub).location
+            }
+        }
+    }
+}
+
+/// One scripted incident. Times are hour offsets from the scenario
+/// epoch; `until_hour: None` persists through the horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptStep {
+    /// Cut every cable the target resolves to.
+    CutCables { target: CableTarget, at_hour: i64, until_hour: Option<i64> },
+    /// An earthquake footprint; exposed assets fail with `failure_prob`.
+    Earthquake {
+        site: DisasterSite,
+        radius_km: f64,
+        failure_prob: f64,
+        at_hour: i64,
+        until_hour: Option<i64>,
+    },
+    /// A hurricane footprint (same mechanics, different label).
+    Hurricane {
+        site: DisasterSite,
+        radius_km: f64,
+        failure_prob: f64,
+        at_hour: i64,
+        until_hour: Option<i64>,
+    },
+    /// Extra one-way latency between two regions.
+    Congestion {
+        from: Region,
+        to: Region,
+        extra_ms: f64,
+        at_hour: i64,
+        until_hour: Option<i64>,
+    },
+}
+
+/// A resolved incident, ready to push onto a scenario timeline.
+pub type ResolvedEvent = (EventKind, SimTime, Option<SimTime>);
+
+fn at(hour: i64) -> SimTime {
+    SimTime::EPOCH + SimDuration::hours(hour)
+}
+
+impl ScriptStep {
+    /// Expands the step into concrete timeline events for `world`.
+    pub fn resolve(&self, world: &World) -> Vec<ResolvedEvent> {
+        match self {
+            ScriptStep::CutCables { target, at_hour, until_hour } => target
+                .resolve(world)
+                .into_iter()
+                .map(|cable| {
+                    (EventKind::CableCut { cable }, at(*at_hour), until_hour.map(at))
+                })
+                .collect(),
+            ScriptStep::Earthquake { site, radius_km, failure_prob, at_hour, until_hour } => {
+                vec![(
+                    EventKind::Earthquake {
+                        footprint: GeoCircle::new(site.resolve(world), *radius_km),
+                        failure_prob: *failure_prob,
+                    },
+                    at(*at_hour),
+                    until_hour.map(at),
+                )]
+            }
+            ScriptStep::Hurricane { site, radius_km, failure_prob, at_hour, until_hour } => {
+                vec![(
+                    EventKind::Hurricane {
+                        footprint: GeoCircle::new(site.resolve(world), *radius_km),
+                        failure_prob: *failure_prob,
+                    },
+                    at(*at_hour),
+                    until_hour.map(at),
+                )]
+            }
+            ScriptStep::Congestion { from, to, extra_ms, at_hour, until_hour } => {
+                vec![(
+                    EventKind::CongestionSurge { from: *from, to: *to, extra_ms: *extra_ms },
+                    at(*at_hour),
+                    until_hour.map(at),
+                )]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use world::{generate, WorldConfig};
+
+    fn test_world() -> World {
+        generate(&WorldConfig { seed: 7, ..WorldConfig::default() })
+    }
+
+    #[test]
+    fn named_target_matches_cable_by_name() {
+        let w = test_world();
+        let ids = CableTarget::Named("SeaMeWe-5".into()).resolve(&w);
+        assert_eq!(ids, vec![w.cable_by_name("SeaMeWe-5").unwrap().id]);
+        assert!(CableTarget::Named("No Such System".into()).resolve(&w).is_empty());
+    }
+
+    #[test]
+    fn landing_target_matches_scan() {
+        let w = test_world();
+        let eg = Country(*b"EG");
+        let ids = CableTarget::LandingIn(eg).resolve(&w);
+        assert!(!ids.is_empty(), "Egypt is a landing hub");
+        for id in &ids {
+            assert!(w
+                .cable(*id)
+                .landings
+                .iter()
+                .any(|&c| w.city(c).country == eg));
+        }
+        assert!(ids.windows(2).all(|p| p[0] < p[1]), "ascending ids");
+    }
+
+    #[test]
+    fn corridor_ranks_are_distinct_and_capacity_ordered() {
+        let w = test_world();
+        let rank = |r| {
+            CableTarget::CorridorRank { a: Region::Europe, b: Region::Asia, rank: r }
+                .resolve(&w)
+        };
+        let (r0, r1) = (rank(0), rank(1));
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r1.len(), 1);
+        assert_ne!(r0[0], r1[0]);
+        assert!(w.cable(r0[0]).capacity_tbps >= w.cable(r1[0]).capacity_tbps);
+        assert!(rank(10_000).is_empty(), "out-of-range rank resolves to nothing");
+    }
+
+    #[test]
+    fn steps_resolve_to_timed_events() {
+        let w = test_world();
+        let step = ScriptStep::CutCables {
+            target: CableTarget::Named("AAE-1".into()),
+            at_hour: 48,
+            until_hour: Some(96),
+        };
+        let events = step.resolve(&w);
+        assert_eq!(events.len(), 1);
+        let (kind, at, until) = &events[0];
+        assert!(matches!(kind, EventKind::CableCut { .. }));
+        assert_eq!(*at, SimTime::EPOCH + SimDuration::hours(48));
+        assert_eq!(*until, Some(SimTime::EPOCH + SimDuration::hours(96)));
+
+        let quake = ScriptStep::Earthquake {
+            site: DisasterSite::RegionHub(Region::Asia),
+            radius_km: 300.0,
+            failure_prob: 1.0,
+            at_hour: 24,
+            until_hour: None,
+        };
+        assert_eq!(quake.resolve(&w).len(), 1);
+    }
+}

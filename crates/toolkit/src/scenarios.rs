@@ -1,12 +1,17 @@
 //! Standard case-study scenarios — the measurement conditions under which
 //! the paper's four queries are asked.
 
-use net_model::{Region, SimDuration, SimTime};
-use world::{generate, EventKind, Scenario, WorldConfig};
+use std::sync::Arc;
 
-/// The standard evaluation world (seed 42).
-pub fn standard_world() -> world::World {
-    generate(&WorldConfig::default())
+use net_model::{Region, SimDuration, SimTime};
+use world::{EventKind, Scenario, WorldConfig};
+
+/// The standard evaluation world (seed 42), served from the process-wide
+/// content-addressed world cache: the five case-study scenarios (and any
+/// engine fleet naming the default config) share **one** generation per
+/// process instead of regenerating per scenario.
+pub fn standard_world() -> Arc<world::World> {
+    scenario_forge::global_cache().get_or_generate(&WorldConfig::default())
 }
 
 /// CS1 — "impact at a country level due to SeaMeWe-5 cable failure".
@@ -104,5 +109,15 @@ mod tests {
     fn what_if_scenarios_are_quiet() {
         assert!(cs1_scenario().timeline().is_empty());
         assert!(cs2_scenario().timeline().is_empty());
+    }
+
+    #[test]
+    fn case_studies_share_one_cached_world() {
+        // Every case-study scenario draws the standard world from the
+        // process-wide cache: same Arc, one generation.
+        let quiet = cs1_scenario();
+        for s in [cs2_scenario(), cs3_scenario(), cs4_scenario(), cs4_negative_scenario()] {
+            assert!(Arc::ptr_eq(&quiet.world, &s.world));
+        }
     }
 }

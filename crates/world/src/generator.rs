@@ -21,6 +21,20 @@ use crate::World;
 
 /// Knobs for world generation. `Default` produces the standard evaluation
 /// world used by every case study; the benches scale some knobs.
+///
+/// # Equality, hashing and the NaN policy
+///
+/// `WorldConfig` is the **content address** of a generated world: the
+/// scenario-forge world cache keys `Arc<World>` slots by it, so equality
+/// and hashing must be *total* and *stable*. Both are defined over the
+/// exact IEEE-754 bit patterns of the `f64` fields
+/// ([`WorldConfig::canonical_bits`]): `0.5 == 0.5` as usual; `-0.0` and
+/// `0.0` have different bits and are therefore distinct addresses
+/// (whether or not the generator's output differs between them); a NaN
+/// **equals itself** bit-for-bit, keeping the relation reflexive, while
+/// NaNs with different payloads are distinct addresses. The generator
+/// itself never produces NaN; feeding NaN knobs is allowed but each NaN
+/// bit pattern simply names its own cache slot.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
     /// Master seed; two configs with equal fields generate identical worlds.
@@ -47,6 +61,73 @@ impl Default for WorldConfig {
     }
 }
 
+impl WorldConfig {
+    /// The canonical integer representation equality, ordering, hashing
+    /// and the content hash are all defined over: every field as its raw
+    /// bits, `f64`s via [`f64::to_bits`]. One array position per field,
+    /// in declaration order — extend (never reorder) when adding knobs;
+    /// the exhaustive destructuring below makes a forgotten field a
+    /// compile error instead of a silent cache-identity hole.
+    pub fn canonical_bits(&self) -> [u64; 5] {
+        let WorldConfig {
+            seed,
+            festoon_cables,
+            access_per_country,
+            probe_scale,
+            transit_peering_prob,
+        } = self;
+        [
+            *seed,
+            *festoon_cables as u64,
+            *access_per_country as u64,
+            probe_scale.to_bits(),
+            transit_peering_prob.to_bits(),
+        ]
+    }
+
+    /// A stable structural hash of the config — the world cache's content
+    /// address. Mixed with [`crate::events::stable_hash`], so it is
+    /// identical across platforms, runs and releases (unlike
+    /// `std::hash::Hasher` output, which is allowed to vary).
+    pub fn content_hash(&self) -> u64 {
+        let bits = self.canonical_bits();
+        let mut parts = [0u64; 6];
+        parts[0] = 0x574F_524C_4443_4647; // "WORLDCFG"
+        parts[1..].copy_from_slice(&bits);
+        crate::events::stable_hash(&parts)
+    }
+}
+
+impl PartialEq for WorldConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+
+/// Total: bit-pattern equality is reflexive even for NaN (see the type
+/// docs for the NaN policy).
+impl Eq for WorldConfig {}
+
+impl std::hash::Hash for WorldConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+impl PartialOrd for WorldConfig {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordered by [`WorldConfig::canonical_bits`] so configs can key ordered
+/// maps (the world cache's slot table).
+impl Ord for WorldConfig {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.canonical_bits().cmp(&other.canonical_bits())
+    }
+}
+
 /// Generates a world from the given configuration.
 pub fn generate(config: &WorldConfig) -> World {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -64,7 +145,7 @@ pub fn generate(config: &WorldConfig) -> World {
     let probes = build_probes(&ases, &prefixes, &cities, config);
 
     let world = World::assemble(
-        config.seed,
+        config,
         cities,
         cables,
         terrestrial,
@@ -689,6 +770,43 @@ mod tests {
         let before = addrs.len();
         addrs.dedup();
         assert_eq!(before, addrs.len());
+    }
+
+    #[test]
+    fn config_equality_and_hash_are_bit_exact() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |c: &WorldConfig| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        let a = WorldConfig::default();
+        let b = WorldConfig::default();
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        let scaled = WorldConfig { probe_scale: 2.0, ..WorldConfig::default() };
+        assert_ne!(a, scaled);
+        assert_ne!(a.content_hash(), scaled.content_hash());
+        let reseeded = WorldConfig { seed: 43, ..WorldConfig::default() };
+        assert_ne!(a, reseeded);
+        assert_ne!(a.content_hash(), reseeded.content_hash());
+
+        // NaN policy: a NaN equals itself bit-for-bit (the relation stays
+        // total), while -0.0 and 0.0 are distinct addresses.
+        let nan1 = WorldConfig { probe_scale: f64::NAN, ..WorldConfig::default() };
+        let nan2 = WorldConfig { probe_scale: f64::NAN, ..WorldConfig::default() };
+        assert_eq!(nan1, nan2);
+        assert_eq!(h(&nan1), h(&nan2));
+        let neg0 = WorldConfig { probe_scale: -0.0, ..WorldConfig::default() };
+        let pos0 = WorldConfig { probe_scale: 0.0, ..WorldConfig::default() };
+        assert_ne!(neg0, pos0);
+
+        // Ordering is consistent with equality (map-key safety).
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_ne!(a.cmp(&scaled), std::cmp::Ordering::Equal);
     }
 
     #[test]

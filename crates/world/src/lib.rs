@@ -52,8 +52,14 @@ use net_model::{Asn, CableId, CityId, Country, LinkId, PrefixId, ProbeId};
 /// `net-model`; every `Vec` position matches the id's `index()`.
 #[derive(Debug, Clone)]
 pub struct World {
-    /// Seed the world was generated from.
+    /// Seed the world was generated from (`config.seed`, kept as a
+    /// direct field because the deterministic failure draws key on it).
     pub seed: u64,
+    /// The full configuration the world was generated from — its
+    /// content address. Cache keys, scenario specs and blueprint
+    /// validation compare this, not just the seed: two configs sharing
+    /// a seed still generate structurally different worlds.
+    pub config: WorldConfig,
     /// All cities, indexed by [`CityId`].
     pub cities: Vec<City>,
     /// All submarine cables, indexed by [`CableId`].
@@ -87,7 +93,7 @@ impl World {
     /// Internal constructor used by the generator; computes derived indices.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
-        seed: u64,
+        config: &WorldConfig,
         cities: Vec<City>,
         cables: Vec<Cable>,
         terrestrial: Vec<physical::TerrestrialEdge>,
@@ -121,7 +127,8 @@ impl World {
         }
 
         World {
-            seed,
+            seed: config.seed,
+            config: config.clone(),
             cities,
             cables,
             terrestrial,

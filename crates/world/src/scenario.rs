@@ -6,6 +6,7 @@
 //! simulator turns into path and latency changes.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use net_model::{CableId, LinkId, Region, SimDuration, SimTime, TimeWindow};
 use net_model::geo::GeoCircle;
@@ -15,9 +16,15 @@ use crate::events::{fails, Event, EventId, EventKind};
 use crate::World;
 
 /// A world with a timeline.
+///
+/// The world is held behind an `Arc`: scenarios are cheap to clone, and
+/// any number of scenarios can share one generated world (the
+/// scenario-forge cache hands the *same* `Arc<World>` to every scenario
+/// whose config matches — `Arc::ptr_eq` on [`Scenario::world`] is the
+/// cache-sharing witness).
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    pub world: World,
+    pub world: Arc<World>,
     pub events: Vec<Event>,
     /// The analyst's "now" — queries with relative time resolve against it.
     pub now: SimTime,
@@ -25,11 +32,15 @@ pub struct Scenario {
     pub horizon: TimeWindow,
 }
 
-/// Serializable description of a scenario timeline (world regenerates from
-/// its seed, so only the seed and events need persisting).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Serializable description of a scenario timeline (the world
+/// regenerates from its config, so only the world's content identity
+/// and the events need persisting). `world_hash` is the config's full
+/// [`crate::WorldConfig::content_hash`] — two scenarios whose worlds
+/// share a seed but differ in any other knob compare unequal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     pub world_seed: u64,
+    pub world_hash: u64,
     pub events: Vec<Event>,
     pub now: SimTime,
     pub horizon: TimeWindow,
@@ -37,11 +48,22 @@ pub struct ScenarioSpec {
 
 impl Scenario {
     /// A quiet scenario: no events, `now` at the end of a `days`-long
-    /// horizon.
-    pub fn quiet(world: World, days: i64) -> Scenario {
+    /// horizon. Accepts an owned [`World`] or an already-shared
+    /// `Arc<World>` (cache hit) interchangeably.
+    pub fn quiet(world: impl Into<Arc<World>>, days: i64) -> Scenario {
         let start = SimTime::EPOCH;
         let end = start + SimDuration::days(days);
-        Scenario { world, events: Vec::new(), now: end, horizon: TimeWindow::new(start, end) }
+        Scenario {
+            world: world.into(),
+            events: Vec::new(),
+            now: end,
+            horizon: TimeWindow::new(start, end),
+        }
+    }
+
+    /// The shared world handle (an `Arc` clone, not a world copy).
+    pub fn world_handle(&self) -> Arc<World> {
+        Arc::clone(&self.world)
     }
 
     /// Adds an event, assigning the next [`EventId`].
@@ -61,6 +83,7 @@ impl Scenario {
     pub fn spec(&self) -> ScenarioSpec {
         ScenarioSpec {
             world_seed: self.world.seed,
+            world_hash: self.world.config.content_hash(),
             events: self.events.clone(),
             now: self.now,
             horizon: self.horizon,
