@@ -1,7 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr4.json` at the repo root (and
-//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
-//! and `BENCH_pr3.json`).
+//! serving hot paths, written as `BENCH_pr5.json` at the repo root (and
+//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`,
+//! `BENCH_pr3.json` and `BENCH_pr4.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -10,26 +10,35 @@
 //!
 //! Unlike the criterion benches (statistical, interactive), this is the
 //! cheap comparable record each PR leaves behind: one JSON file with a
-//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr4`
-//! repeats every `BENCH_pr2`/`BENCH_pr3` row and adds the scenario-forge
-//! rows:
+//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr5`
+//! repeats every earlier row and adds the control-plane rows:
 //!
 //! * `workflow/exec_dag` — the parallel DAG executor on a fan-out
 //!   workload, max workers vs 1 worker (measured in-tree, like the
 //!   routing row measures the retained seed engine);
 //! * `engine/concurrent_sessions` — N cold-cache queries served
 //!   end-to-end (generate + execute) through engine sessions, max
-//!   session threads vs 1;
+//!   session threads vs 1 (since PR 5 the "cold" baseline also shares
+//!   the world-keyed mapping artifact — the pre-fix behaviour no longer
+//!   exists in-tree, and the row records the remaining serving win);
 //! * `world/generate_cold` / `world/generate_cached` — one full world
 //!   generation vs a content-addressed cache hit on the same config;
 //! * `forge/register_family_fleet` — registering every scenario family's
 //!   fleet through `Engine::register_family` (worlds deduplicated by the
-//!   cache) vs realizing the same fleet with one cold generation per
-//!   scenario.
+//!   process-wide cache) vs realizing the same fleet with one cold
+//!   generation per scenario;
+//! * `bgp/derive_updates_hijack` — the full update-stream derivation for
+//!   a control-plane (prefix hijack) scenario: topology-identical
+//!   boundaries that the policy-aware memoization must still capture;
+//! * `toolkit/mapping_shared_world` — serving the Nautilus mapping
+//!   artifact to N scenarios sharing one world through the world-keyed
+//!   store vs recomputing the mapping run per scenario (the pre-PR-5
+//!   behaviour).
 
 use std::time::Instant;
 
 use serde_json::{json, Value};
+use workflow::ToolRuntime;
 use world::{generate, Scenario, WorldConfig};
 
 /// Median wall-clock milliseconds over `iters` runs of `f` (plus one
@@ -55,7 +64,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -259,8 +268,74 @@ fn main() {
         "speedup": fleet_cold / fleet_cached,
     }));
 
+    // --- PR 5: control-plane incident derivation --------------------------
+    // The full update stream for a prefix-hijack scenario: every event
+    // boundary is topology-identical, so the policy-aware memoization
+    // (not `same_topology` alone) decides the captures.
+    let hijack_victim = world.prefixes[0];
+    let hijack_origin = world
+        .ases
+        .iter()
+        .map(|a| a.asn)
+        .find(|&a| a != hijack_victim.origin)
+        .expect("another AS exists");
+    let hijack_scenario = world::Scenario::quiet(scenario.world_handle(), 10).with_event(
+        world::EventKind::PrefixHijack {
+            origin: hijack_origin,
+            victim_prefix: hijack_victim.net,
+        },
+        net_model::SimTime(5 * 86_400),
+    );
+    let hijack_peers: Vec<net_model::Asn> =
+        world.ases.iter().take(40).map(|a| a.asn).collect();
+    benchmarks.push(bench(
+        "bgp/derive_updates_hijack",
+        median_ms(7, || {
+            bgp_sim::updates::derive_updates(&hijack_scenario, &hijack_peers).len()
+        }),
+    ));
+
+    // --- PR 5: world-keyed mapping artifacts ------------------------------
+    // N scenarios over one Arc<World>: the world-keyed store serves one
+    // mapping run to all of them; the baseline recomputes the Nautilus
+    // mapping per scenario (what per-scenario-key stores used to do).
+    let mapping_scenarios = 4usize;
+    let mapping_shared = median_ms(9, || {
+        let mut served = 0usize;
+        for _ in 0..mapping_scenarios {
+            let rt = toolkit::StandardRuntime::new(world::Scenario::quiet(
+                scenario.world_handle(),
+                10,
+            ));
+            let map = std::collections::BTreeMap::new();
+            let value = rt
+                .invoke(&registry::FunctionId::from("nautilus.map_links"), &map)
+                .expect("mapping serves");
+            served += usize::from(value.is_native());
+        }
+        served
+    });
+    let mapping_cold = median_ms(3, || {
+        (0..mapping_scenarios)
+            .map(|_| {
+                nautilus_sim::NautilusMapper::new(nautilus_sim::MappingConfig::default())
+                    .map_world(world)
+                    .mappings
+                    .len()
+            })
+            .sum::<usize>()
+    });
+    benchmarks.push(json!({
+        "id": "toolkit/mapping_shared_world",
+        "median_ms": mapping_shared,
+        "baseline": "one Nautilus mapping run per scenario (per-scenario-key artifact stores)",
+        "baseline_median_ms": mapping_cold,
+        "scenarios": mapping_scenarios,
+        "speedup": mapping_cold / mapping_shared,
+    }));
+
     let report = json!({
-        "pr": 4,
+        "pr": 5,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

@@ -1,6 +1,6 @@
 //! BGP anomaly detection over update streams.
 //!
-//! Two detectors the case-study workflows use:
+//! Four detectors the case-study workflows use:
 //!
 //! * **update bursts** — bucket the stream, model the per-bucket count as
 //!   roughly normal, flag buckets whose z-score exceeds a threshold. A
@@ -9,10 +9,21 @@
 //!   burst time with the latency anomaly onset.
 //! * **reachability losses** — `(peer, prefix)` pairs withdrawn and never
 //!   re-announced within the stream, the signature of a hard partition.
+//! * **MOAS conflicts** — prefixes observed with more than one origin AS
+//!   (across a baseline RIB and the announcement stream), the signature
+//!   of a prefix hijack.
+//! * **valley violations** — announced AS paths that break the
+//!   valley-free export rule against a reference topology, the signature
+//!   of a route leak (with the pivot AS — the leaker candidate —
+//!   attributed per violation).
 
-use net_model::{Ipv4Net, SimTime, TimeWindow};
+use std::collections::{BTreeMap, BTreeSet};
+
+use net_model::{Asn, Ipv4Net, SimTime, TimeWindow};
 use serde::{Deserialize, Serialize};
 
+use crate::graph::{AsGraph, NeighborKind};
+use crate::rib::RibSnapshot;
 use crate::updates::{BgpUpdate, UpdateKind};
 
 /// A detected burst of update activity.
@@ -43,7 +54,7 @@ pub fn detect_update_bursts(
     let mut counts = vec![0usize; bins.len()];
     let mut withdrawals = vec![0usize; bins.len()];
     for u in updates {
-        if let Some(i) = bins.iter().position(|b| b.contains(u.time)) {
+        if let Some(i) = bucket_index(&window, buckets, u.time) {
             counts[i] += 1;
             if u.is_withdraw() {
                 withdrawals[i] += 1;
@@ -94,6 +105,162 @@ pub fn reachability_losses(updates: &[BgpUpdate]) -> Vec<(net_model::Asn, Ipv4Ne
         .collect()
 }
 
+/// A detected MOAS (multiple-origin AS) conflict: one prefix, several
+/// origins — the capture footprint of a prefix hijack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoasConflict {
+    pub prefix: Ipv4Net,
+    /// Every origin observed for the prefix, ascending.
+    pub origins: Vec<Asn>,
+    /// When the stream first showed a second distinct origin (`None` when
+    /// the conflict was already present in the baseline RIB).
+    pub first_conflict: Option<SimTime>,
+    /// Announcements of this prefix in the stream.
+    pub announcements: usize,
+}
+
+/// Detects MOAS conflicts: prefixes whose observed origin set — origins
+/// in the `baseline` RIB plus origins announced in `updates` — has more
+/// than one member. Results are in ascending prefix order.
+///
+/// The baseline matters because a partial hijack moves only *some*
+/// vantage points to the bogus origin: the victims' announcements carry
+/// the hijacker while unaffected peers silently keep the legitimate
+/// origin from the baseline, so the stream alone often shows one origin.
+pub fn detect_moas_conflicts(
+    updates: &[BgpUpdate],
+    baseline: &RibSnapshot,
+) -> Vec<MoasConflict> {
+    struct Acc {
+        origins: BTreeSet<Asn>,
+        first_conflict: Option<SimTime>,
+        announcements: usize,
+        conflicted_in_baseline: bool,
+    }
+    let mut by_prefix: BTreeMap<Ipv4Net, Acc> = BTreeMap::new();
+    for e in &baseline.entries {
+        let acc = by_prefix.entry(e.prefix).or_insert(Acc {
+            origins: BTreeSet::new(),
+            first_conflict: None,
+            announcements: 0,
+            conflicted_in_baseline: false,
+        });
+        acc.origins.insert(e.origin());
+        acc.conflicted_in_baseline = acc.origins.len() > 1;
+    }
+    for u in updates {
+        let UpdateKind::Announce { as_path } = &u.kind else { continue };
+        let Some(&origin) = as_path.last() else { continue };
+        let acc = by_prefix.entry(u.prefix).or_insert(Acc {
+            origins: BTreeSet::new(),
+            first_conflict: None,
+            announcements: 0,
+            conflicted_in_baseline: false,
+        });
+        acc.announcements += 1;
+        let grew = acc.origins.insert(origin);
+        if grew && acc.origins.len() > 1 && acc.first_conflict.is_none() {
+            acc.first_conflict = Some(u.time);
+        }
+    }
+    by_prefix
+        .into_iter()
+        .filter(|(_, acc)| acc.origins.len() > 1)
+        .map(|(prefix, acc)| MoasConflict {
+            prefix,
+            origins: acc.origins.into_iter().collect(),
+            first_conflict: if acc.conflicted_in_baseline { None } else { acc.first_conflict },
+            announcements: acc.announcements,
+        })
+        .collect()
+}
+
+/// An announced AS path that violates the valley-free export rule — the
+/// capture footprint of a route leak.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValleyViolation {
+    pub time: SimTime,
+    pub peer: Asn,
+    pub prefix: Ipv4Net,
+    /// The violating path (prepending collapsed).
+    pub as_path: Vec<Asn>,
+    /// The AS at which the path first turns back up/sideways after going
+    /// down — the leaker candidate — when the violation is a genuine
+    /// valley (`None` when the path crosses a non-adjacency instead).
+    pub pivot: Option<Asn>,
+}
+
+/// Detects announcements whose AS path is not valley-free against
+/// `graph` (a reference topology — typically the scenario's quiet-start
+/// graph, whose adjacency set is a superset of every later instant's).
+/// Consecutive duplicate ASNs (path prepending, e.g. the simulator's
+/// exploration transients) are collapsed before checking, since
+/// prepending is legitimate. Results are in stream order.
+pub fn detect_valley_violations(
+    updates: &[BgpUpdate],
+    graph: &AsGraph,
+) -> Vec<ValleyViolation> {
+    let mut out = Vec::new();
+    for u in updates {
+        let UpdateKind::Announce { as_path } = &u.kind else { continue };
+        let mut path: Vec<Asn> = Vec::with_capacity(as_path.len());
+        for &a in as_path {
+            if path.last() != Some(&a) {
+                path.push(a);
+            }
+        }
+        if let Some(pivot) = valley_pivot(graph, &path) {
+            out.push(ValleyViolation {
+                time: u.time,
+                peer: u.peer,
+                prefix: u.prefix,
+                as_path: path,
+                pivot,
+            });
+        }
+    }
+    out
+}
+
+/// Where a path first violates the valley-free rule, walking from the
+/// holder towards the origin: `Some(Some(asn))` names the AS after which
+/// the path illegally turns up/sideways again (the leaker candidate),
+/// `Some(None)` flags a non-adjacency step, `None` means the path is
+/// clean. Mirrors [`crate::routing::is_valley_free`]'s phase machine.
+fn valley_pivot(graph: &AsGraph, path: &[Asn]) -> Option<Option<Asn>> {
+    #[derive(PartialEq)]
+    enum Phase {
+        Up,
+        Side,
+        Down,
+    }
+    let mut phase = Phase::Up;
+    for w in path.windows(2) {
+        let (u, v) = (w[0], w[1]);
+        let kind = match graph.kind_between(u, v) {
+            Some(k) => k,
+            None => return Some(None),
+        };
+        match kind {
+            NeighborKind::Provider => {
+                if phase != Phase::Up {
+                    return Some(Some(u));
+                }
+            }
+            NeighborKind::Peer => {
+                if phase != Phase::Up {
+                    return Some(Some(u));
+                }
+                phase = Phase::Side;
+            }
+            NeighborKind::Customer => {
+                phase = Phase::Down;
+            }
+        }
+    }
+    None
+}
+
 /// Counts updates per `(time bucket)` — a convenience series for plots and
 /// temporal correlation.
 pub fn update_rate_series(
@@ -101,14 +268,34 @@ pub fn update_rate_series(
     window: TimeWindow,
     buckets: usize,
 ) -> Vec<(TimeWindow, usize)> {
+    assert!(buckets > 0);
     let bins = window.buckets(buckets);
     let mut counts = vec![0usize; bins.len()];
     for u in updates {
-        if let Some(i) = bins.iter().position(|b| b.contains(u.time)) {
+        if let Some(i) = bucket_index(&window, buckets, u.time) {
             counts[i] += 1;
         }
     }
     bins.into_iter().zip(counts).collect()
+}
+
+/// The index of the bucket of `TimeWindow::buckets(n)` containing `t`,
+/// computed arithmetically — O(1) per update instead of the former
+/// O(buckets) linear scan. Mirrors the bucket geometry exactly: buckets
+/// are `total / n` seconds wide (integer division) and the last bucket
+/// absorbs the remainder; a zero-width bucket (window shorter than `n`
+/// seconds) can contain nothing, so everything lands in the final
+/// remainder bucket.
+fn bucket_index(window: &TimeWindow, n: usize, t: SimTime) -> Option<usize> {
+    if !window.contains(t) {
+        return None;
+    }
+    let step = window.duration().as_seconds() / n as i64;
+    if step == 0 {
+        return Some(n - 1);
+    }
+    let idx = ((t.0 - window.start.0) / step) as usize;
+    Some(idx.min(n - 1))
 }
 
 #[cfg(test)]
@@ -149,6 +336,118 @@ mod tests {
         let series = update_rate_series(&ups, horizon, 100);
         let total: usize = series.iter().map(|(_, c)| c).sum();
         assert_eq!(total, ups.len());
+    }
+
+    #[test]
+    fn bucket_index_matches_linear_scan() {
+        // Awkward divisions: remainders, windows shorter than the bucket
+        // count, single buckets.
+        for (start, end, n) in [
+            (0i64, 100i64, 7usize),
+            (13, 113, 9),
+            (0, 5, 24),
+            (-50, 77, 3),
+            (0, 86_400, 240),
+            (10, 11, 4),
+            (0, 60, 1),
+        ] {
+            let w = TimeWindow::new(SimTime(start), SimTime(end));
+            let bins = w.buckets(n);
+            for t in (start - 2)..(end + 2) {
+                let linear = bins.iter().position(|b| b.contains(SimTime(t)));
+                assert_eq!(
+                    bucket_index(&w, n, SimTime(t)),
+                    linear,
+                    "window [{start},{end}) n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    fn ann(t: i64, peer: u32, prefix: Ipv4Net, path: &[u32]) -> BgpUpdate {
+        BgpUpdate {
+            time: SimTime(t),
+            peer: Asn(peer),
+            prefix,
+            kind: UpdateKind::Announce { as_path: path.iter().map(|&a| Asn(a)).collect() },
+        }
+    }
+
+    #[test]
+    fn moas_conflict_needs_baseline_awareness() {
+        use crate::rib::{RibEntry, RibSnapshot};
+        let pfx = Ipv4Net::parse("10.0.0.0/20").unwrap();
+        let other = Ipv4Net::parse("10.16.0.0/20").unwrap();
+        // Baseline: two peers hold the prefix from legitimate origin 30.
+        let baseline = RibSnapshot {
+            at: SimTime(0),
+            entries: vec![
+                RibEntry { peer: Asn(1), prefix: pfx, as_path: vec![Asn(1), Asn(30)] },
+                RibEntry { peer: Asn(2), prefix: pfx, as_path: vec![Asn(2), Asn(30)] },
+                RibEntry { peer: Asn(1), prefix: other, as_path: vec![Asn(1), Asn(40)] },
+            ],
+        };
+        // Stream: only peer 1 moves to the hijacker (origin 99) — the
+        // stream alone never shows origin 30.
+        let stream = vec![ann(500, 1, pfx, &[1, 99])];
+        let conflicts = detect_moas_conflicts(&stream, &baseline);
+        assert_eq!(conflicts.len(), 1);
+        let c = &conflicts[0];
+        assert_eq!(c.prefix, pfx);
+        assert_eq!(c.origins, vec![Asn(30), Asn(99)]);
+        assert_eq!(c.first_conflict, Some(SimTime(500)));
+        assert_eq!(c.announcements, 1);
+
+        // Without the hijack announcement: no conflict anywhere.
+        assert!(detect_moas_conflicts(&[], &baseline).is_empty());
+    }
+
+    #[test]
+    fn moas_ignores_withdrawals_and_single_origin_churn() {
+        use crate::rib::RibSnapshot;
+        let pfx = Ipv4Net::parse("10.0.0.0/20").unwrap();
+        let empty = RibSnapshot { at: SimTime(0), entries: vec![] };
+        let stream = vec![
+            ann(10, 1, pfx, &[1, 30]),
+            BgpUpdate {
+                time: SimTime(20),
+                peer: Asn(1),
+                prefix: pfx,
+                kind: UpdateKind::Withdraw,
+            },
+            ann(30, 1, pfx, &[1, 5, 30]),
+        ];
+        assert!(detect_moas_conflicts(&stream, &empty).is_empty());
+    }
+
+    #[test]
+    fn valley_violation_detected_with_pivot_and_prepending_ignored() {
+        use world::RelKind;
+        // 10 ── provider of ── 20, 30; 20 ── peer ── 30.
+        let g = crate::graph::AsGraph::from_relationships(
+            vec![Asn(10), Asn(20), Asn(30)],
+            vec![
+                (Asn(10), Asn(20), RelKind::ProviderCustomer),
+                (Asn(10), Asn(30), RelKind::ProviderCustomer),
+                (Asn(20), Asn(30), RelKind::Peer),
+            ],
+        );
+        let pfx = Ipv4Net::parse("10.0.0.0/20").unwrap();
+        // 20 → 10 (up) → 30 (down): clean.
+        let clean = ann(0, 20, pfx, &[20, 10, 30]);
+        // Prepended head (transient texture): still clean.
+        let prepended = ann(1, 20, pfx, &[20, 20, 10, 30]);
+        // 10 → 20 (down) → 30 (peer, sideways after down): the leak shape —
+        // 20 is the pivot (the leaker candidate).
+        let leaked = ann(2, 10, pfx, &[10, 20, 30]);
+        // A step with no adjacency at all.
+        let bogus = ann(3, 20, pfx, &[20, 99, 30]);
+
+        let violations = detect_valley_violations(&[clean, prepended, leaked, bogus], &g);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].as_path, vec![Asn(10), Asn(20), Asn(30)]);
+        assert_eq!(violations[0].pivot, Some(Asn(20)));
+        assert_eq!(violations[1].pivot, None, "non-adjacency has no pivot");
     }
 
     #[test]

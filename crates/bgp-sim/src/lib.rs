@@ -26,10 +26,13 @@ pub mod rib;
 pub mod routing;
 pub mod updates;
 
-pub use anomaly::{detect_update_bursts, reachability_losses, UpdateBurst};
+pub use anomaly::{
+    detect_moas_conflicts, detect_update_bursts, detect_valley_violations,
+    reachability_losses, MoasConflict, UpdateBurst, ValleyViolation,
+};
 pub use graph::AsGraph;
 pub use rib::{RibEntry, RibSnapshot};
-pub use routing::{Route, RouteKind, RoutingTable};
+pub use routing::{PolicyOverrides, Route, RouteKind, RoutingTable};
 pub use updates::{BgpUpdate, UpdateKind};
 
 use net_model::SimTime;

@@ -3,12 +3,20 @@
 //! A [`RibSnapshot`] is the set of best routes from every collector peer to
 //! every announced prefix — the synthetic analogue of a RouteViews
 //! `bview`/RIB dump file.
+//!
+//! Control-plane incidents surface here: an active prefix hijack makes the
+//! victim prefix a **MOAS** prefix (two candidate origins), and each
+//! vantage point picks whichever origin its route selection actually
+//! prefers — the classic partial-hijack capture footprint. Active route
+//! leaks plumb into the routing computation itself as
+//! [`crate::routing::PolicyOverrides`], so leaked (valley-violating,
+//! inflated) paths appear verbatim in the snapshot entries.
 
 use std::collections::BTreeMap;
 
 use net_model::{Asn, Ipv4Net, SimTime};
 use serde::{Deserialize, Serialize};
-use world::{Scenario, World};
+use world::{ControlPlaneState, Scenario, World};
 
 use crate::graph::AsGraph;
 use crate::routing::RoutingTable;
@@ -38,35 +46,80 @@ pub struct RibSnapshot {
 }
 
 impl RibSnapshot {
-    /// Captures the snapshot for the given collector peers at `t`.
+    /// Captures the snapshot for the given collector peers at `t`,
+    /// including whatever control-plane incidents the scenario has active
+    /// at that instant.
     ///
     /// Many prefixes share an origin AS, so the best path per
     /// `(peer, origin)` pair is materialized from the routing table once
     /// and reused for every prefix that origin announces.
     pub fn capture(scenario: &Scenario, peers: &[Asn], t: SimTime) -> RibSnapshot {
         let graph = AsGraph::at_time(scenario, t);
-        Self::capture_from_graph(&scenario.world, &graph, peers, t)
+        Self::capture_with(&scenario.world, &graph, peers, t, &scenario.control_plane_at(t))
     }
 
-    /// Captures the snapshot for a pre-built AS graph. Routing is a pure
-    /// function of the topology, so callers diffing many instants (e.g.
-    /// `derive_updates`) can compare graphs first and skip captures
-    /// entirely when connectivity did not change.
+    /// Captures the snapshot for a pre-built AS graph with a quiet
+    /// control plane. Routing is a pure function of the topology, so
+    /// callers diffing many instants (e.g. `derive_updates`) can compare
+    /// graphs first and skip captures entirely when connectivity did not
+    /// change.
     pub fn capture_from_graph(
         world: &World,
         graph: &AsGraph,
         peers: &[Asn],
         t: SimTime,
     ) -> RibSnapshot {
-        let routing = RoutingTable::compute(graph, world);
+        Self::capture_with(world, graph, peers, t, &ControlPlaneState::default())
+    }
+
+    /// [`RibSnapshot::capture_from_graph`] with an explicit control-plane
+    /// state. Routing (and therefore the snapshot) is a pure function of
+    /// `(topology, control-plane state)` — `derive_updates` memoizes on
+    /// exactly that pair.
+    pub fn capture_with(
+        world: &World,
+        graph: &AsGraph,
+        peers: &[Asn],
+        t: SimTime,
+        control: &ControlPlaneState,
+    ) -> RibSnapshot {
+        let routing = RoutingTable::compute_with(
+            graph,
+            world,
+            crate::routing::default_threads(),
+            &control.into(),
+        );
+        // Hijacked prefixes, pre-indexed so quiet prefixes stay on the
+        // memoized per-origin fast path.
+        let mut hijacked: BTreeMap<Ipv4Net, Vec<Asn>> = BTreeMap::new();
+        for &(prefix, origin) in &control.hijacks {
+            hijacked.entry(prefix).or_default().push(origin);
+        }
         let mut entries = Vec::new();
         let mut paths: BTreeMap<Asn, Option<Vec<Asn>>> = BTreeMap::new();
         for peer in peers {
             paths.clear();
             for pfx in &world.prefixes {
+                // MOAS arbitration: the vantage point holds the route to
+                // whichever candidate origin its selection prefers —
+                // `(kind, hops, next hop)`, then lowest origin ASN.
+                let origin = match hijacked.get(&pfx.net) {
+                    None => pfx.origin,
+                    Some(bogus) => {
+                        let best = bogus
+                            .iter()
+                            .chain(std::iter::once(&pfx.origin))
+                            .filter_map(|&o| routing.selection(*peer, o).map(|k| (k, o)))
+                            .min();
+                        match best {
+                            Some((_, o)) => o,
+                            None => continue, // no candidate origin is routed
+                        }
+                    }
+                };
                 let path = paths
-                    .entry(pfx.origin)
-                    .or_insert_with(|| routing.route(*peer, pfx.origin).map(|r| r.as_path));
+                    .entry(origin)
+                    .or_insert_with(|| routing.route(*peer, origin).map(|r| r.as_path));
                 if let Some(path) = path {
                     entries.push(RibEntry {
                         peer: *peer,
@@ -135,6 +188,53 @@ mod tests {
             let pfx = s.world.prefixes.iter().find(|p| p.net == e.prefix).unwrap();
             assert_eq!(e.origin(), pfx.origin);
         }
+    }
+
+    #[test]
+    fn hijack_creates_a_moas_split_across_vantage_points() {
+        let world = generate(&WorldConfig::default());
+        // Victim: a prefix whose origin is not itself a collector-tier AS;
+        // hijacker: an AS in the victim's topological vicinity is not
+        // required — any other AS will capture *some* vantage points.
+        let victim = world.prefixes[0];
+        let hijacker = world
+            .ases
+            .iter()
+            .map(|a| a.asn)
+            .find(|&a| a != victim.origin)
+            .unwrap();
+        let at = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(
+            world::EventKind::PrefixHijack { origin: hijacker, victim_prefix: victim.net },
+            at,
+        );
+        let peers: Vec<Asn> = s.world.ases.iter().map(|a| a.asn).collect();
+
+        let before = RibSnapshot::capture(&s, &peers, at - SimDuration::hours(1));
+        let after = RibSnapshot::capture(&s, &peers, at + SimDuration::hours(1));
+
+        let origins = |rib: &RibSnapshot| -> std::collections::BTreeSet<Asn> {
+            rib.entries.iter().filter(|e| e.prefix == victim.net).map(|e| e.origin()).collect()
+        };
+        assert_eq!(
+            origins(&before).into_iter().collect::<Vec<_>>(),
+            vec![victim.origin],
+            "pre-hijack the prefix has one origin"
+        );
+        let moas = origins(&after);
+        assert!(moas.contains(&hijacker), "some vantage point must capture the hijack");
+        assert!(
+            moas.contains(&victim.origin),
+            "a partial hijack leaves other vantage points on the legitimate origin"
+        );
+        // Every non-hijacked prefix is untouched.
+        let unchanged = after
+            .entries
+            .iter()
+            .filter(|e| e.prefix != victim.net)
+            .zip(before.entries.iter().filter(|e| e.prefix != victim.net))
+            .all(|(a, b)| a == b);
+        assert!(unchanged, "hijack must only move the victim prefix");
     }
 
     #[test]

@@ -31,14 +31,69 @@
 //! per-destination sweep across cores with `std::thread::scope`; each
 //! destination is computed single-threaded, so the output is bit-identical
 //! regardless of worker count.
+//!
+//! ## Control-plane policy overrides
+//!
+//! Scenario timelines can now carry control-plane incidents. Route leaks
+//! change the *export policy* of one AS, so they plumb into the sweep as
+//! [`PolicyOverrides`]: after the normal three phases, each leaker
+//! re-announces its pre-leak best route to every neighbour the
+//! valley-free export rule forbids (its providers and peers), and the
+//! improvements propagate through one more deterministic phase sweep.
+//! The semantics are **one leak round over the pre-leak snapshot** —
+//! well-defined, deterministic, and implemented identically by the dense
+//! engine and [`reference`] (pinned byte-identical by the
+//! `dense_equivalence` suite). Prefix hijacks do not touch AS-level
+//! routing at all — they change prefix *origination* and are arbitrated
+//! per vantage point in [`crate::rib`] via [`RoutingTable::selection`].
 
 use std::collections::{BTreeMap, VecDeque};
 
 use net_model::Asn;
 use serde::{Deserialize, Serialize};
-use world::World;
+use world::{ControlPlaneState, World};
 
 use crate::graph::{AsGraph, NeighborKind};
+
+/// Per-computation routing-policy overrides derived from a scenario's
+/// control-plane events. Currently: the set of ASes leaking routes
+/// (re-exporting peer/provider-learned routes to everyone).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyOverrides {
+    /// Leaking ASes, ascending and deduplicated.
+    leakers: Vec<Asn>,
+}
+
+impl PolicyOverrides {
+    /// No overrides: plain Gao–Rexford export policy.
+    pub fn none() -> PolicyOverrides {
+        PolicyOverrides::default()
+    }
+
+    /// Overrides with the given leaking ASes.
+    pub fn leaking(leakers: impl IntoIterator<Item = Asn>) -> PolicyOverrides {
+        let mut leakers: Vec<Asn> = leakers.into_iter().collect();
+        leakers.sort();
+        leakers.dedup();
+        PolicyOverrides { leakers }
+    }
+
+    /// The leaking ASes, ascending.
+    pub fn leakers(&self) -> &[Asn] {
+        &self.leakers
+    }
+
+    /// Whether the overrides change anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.leakers.is_empty()
+    }
+}
+
+impl From<&ControlPlaneState> for PolicyOverrides {
+    fn from(state: &ControlPlaneState) -> PolicyOverrides {
+        PolicyOverrides::leaking(state.leakers.iter().copied())
+    }
+}
 
 /// The class of a selected route, in preference order (`Ord`: earlier
 /// variants are strictly preferred — the algorithm relies on this).
@@ -116,9 +171,7 @@ impl RoutingTable {
     /// Computes best routes for every destination AS in the world,
     /// sharding destinations across all available cores.
     pub fn compute(graph: &AsGraph, world: &World) -> RoutingTable {
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self::compute_with_threads(graph, world, threads)
+        Self::compute_with_threads(graph, world, default_threads())
     }
 
     /// [`RoutingTable::compute`] with an explicit worker count. The output
@@ -130,20 +183,53 @@ impl RoutingTable {
         world: &World,
         threads: usize,
     ) -> RoutingTable {
+        Self::compute_with(graph, world, threads, &PolicyOverrides::none())
+    }
+
+    /// [`RoutingTable::compute_with_threads`] plus control-plane policy
+    /// overrides — the scenario-aware entry the RIB capture uses. The
+    /// leak pass is part of the same per-destination sweep, so the
+    /// output stays bit-identical for every worker count.
+    pub fn compute_with(
+        graph: &AsGraph,
+        world: &World,
+        threads: usize,
+        overrides: &PolicyOverrides,
+    ) -> RoutingTable {
         debug_assert_eq!(graph.node_count(), world.ases.len());
-        Self::compute_for_graph(graph, threads)
+        Self::compute_for_graph_with(graph, threads, overrides)
     }
 
     /// Computes routes for every node of an arbitrary graph (the
     /// world-free entry point the equivalence and property tests use).
     pub fn compute_for_graph(graph: &AsGraph, threads: usize) -> RoutingTable {
+        Self::compute_for_graph_with(graph, threads, &PolicyOverrides::none())
+    }
+
+    /// [`RoutingTable::compute_for_graph`] with policy overrides.
+    pub fn compute_for_graph_with(
+        graph: &AsGraph,
+        threads: usize,
+        overrides: &PolicyOverrides,
+    ) -> RoutingTable {
         let n = graph.node_count();
         assert!(n < u16::MAX as usize, "hop counter is u16");
         let threads = threads.clamp(1, n.max(1));
 
+        // Leakers as dense indices, ascending (ASes absent from this
+        // graph cannot leak anything into it).
+        let leakers: Vec<u32> = overrides
+            .leakers()
+            .iter()
+            .filter_map(|&a| graph.index_of(a).map(|i| i as u32))
+            .collect();
+        let leakers = &leakers[..];
+
         let dests: Vec<DestRoutes> = if threads == 1 || n < 2 {
             let mut scratch = Scratch::new(n);
-            (0..n).map(|d| compute_destination(graph, d as u32, &mut scratch)).collect()
+            (0..n)
+                .map(|d| compute_destination(graph, d as u32, &mut scratch, leakers))
+                .collect()
         } else {
             let chunk = n.div_ceil(threads);
             let mut out: Vec<DestRoutes> = Vec::with_capacity(n);
@@ -155,7 +241,9 @@ impl RoutingTable {
                         s.spawn(move || {
                             let mut scratch = Scratch::new(n);
                             (lo..hi)
-                                .map(|d| compute_destination(graph, d as u32, &mut scratch))
+                                .map(|d| {
+                                    compute_destination(graph, d as u32, &mut scratch, leakers)
+                                })
                                 .collect::<Vec<DestRoutes>>()
                         })
                     })
@@ -195,6 +283,18 @@ impl RoutingTable {
     pub fn hop_count(&self, src: Asn, dst: Asn) -> Option<usize> {
         let slot = self.slot(src, dst)?;
         (slot.rec != NONE).then_some(slot.hops as usize)
+    }
+
+    /// The full selection key of the `src → dst` route —
+    /// `(kind, hops, next-hop ASN)` — without materializing the path.
+    /// Lexicographically smaller keys are preferred; the RIB capture uses
+    /// this to arbitrate MOAS conflicts (hijacked prefix: legitimate vs
+    /// bogus origin) exactly as the route selection itself would. The
+    /// next-hop ASN of an origin route is `Asn(0)` (never compared: the
+    /// `Origin` kind already wins).
+    pub fn selection(&self, src: Asn, dst: Asn) -> Option<(RouteKind, usize, Asn)> {
+        let slot = self.slot(src, dst)?;
+        (slot.rec != NONE).then_some((slot.kind, slot.hops as usize, Asn(slot.next_asn)))
     }
 
     /// Whether `src` holds a route towards `dst` — an O(log n) + O(1)
@@ -283,8 +383,15 @@ fn chain_contains(records: &[PathRec], mut rec: u32, node: u32) -> bool {
 /// Mirrors the seed algorithm exactly (see [`reference`]): same three
 /// phases, same relaxation rule, same deterministic tie-breaks — only the
 /// data layout differs, so the selected routes (including frozen path
-/// snapshots) are byte-identical.
-fn compute_destination(graph: &AsGraph, d: u32, scratch: &mut Scratch) -> DestRoutes {
+/// snapshots) are byte-identical. When `leakers` is non-empty a fourth
+/// stage runs: the leak seeding plus one more phase sweep, again in the
+/// exact order of [`reference::compute_for_destination_with`].
+fn compute_destination(
+    graph: &AsGraph,
+    d: u32,
+    scratch: &mut Scratch,
+    leakers: &[u32],
+) -> DestRoutes {
     let n = graph.node_count();
     let Scratch { slots, records, remap, stack, queue } = scratch;
     slots.fill(EMPTY);
@@ -371,6 +478,84 @@ fn compute_destination(graph: &AsGraph, d: u32, scratch: &mut Scratch) -> DestRo
         }
     }
 
+    // Leak stage: each leaker re-announces its *pre-leak* best route to
+    // the neighbours the valley-free export rule forbids (providers and
+    // peers — customers already received it in phase 3). A provider of
+    // the leaker imports the leak as a *customer* route — more preferred
+    // than what it holds, which is exactly why leaks spread — and the
+    // improvements propagate through one more up/peer/down sweep.
+    // Semantics: one leak round over the pre-leak snapshot, leakers in
+    // ascending index order (see the module docs; [`reference`] runs the
+    // identical sequence).
+    if !leakers.is_empty() {
+        let leaked: Vec<(u32, Slot)> = leakers
+            .iter()
+            .map(|&l| (l, slots[l as usize]))
+            .filter(|(_, s)| {
+                s.rec != NONE && matches!(s.kind, RouteKind::Peer | RouteKind::Provider)
+            })
+            .collect();
+        queue.clear();
+        for (l, ls) in leaked {
+            let (nbrs, kinds) = graph.neighbor_slices(l as usize);
+            for (&u, &kind) in nbrs.iter().zip(kinds) {
+                // `kind` is the leaker's view of `u`; `u` classifies the
+                // leaked route by its own view of the leaker.
+                let accept = match kind {
+                    NeighborKind::Provider => RouteKind::Customer,
+                    NeighborKind::Peer => RouteKind::Peer,
+                    NeighborKind::Customer => continue, // legitimate export
+                };
+                if relax!(u, l, ls, accept) && accept == RouteKind::Customer {
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Re-run phase 1: leak-gained customer routes propagate up.
+        while let Some(v) = queue.pop_front() {
+            let vs = slots[v as usize];
+            let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+            for (&u, &kind) in nbrs.iter().zip(kinds) {
+                if kind != NeighborKind::Provider {
+                    continue;
+                }
+                if relax!(u, v, vs, RouteKind::Customer) {
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Re-run phase 2: peer spread off the (now final) customer set.
+        for v in 0..n as u32 {
+            let vs = slots[v as usize];
+            if vs.rec == NONE
+                || !matches!(vs.kind, RouteKind::Customer | RouteKind::Origin)
+            {
+                continue;
+            }
+            let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+            for (&u, &kind) in nbrs.iter().zip(kinds) {
+                if kind != NeighborKind::Peer {
+                    continue;
+                }
+                relax!(u, v, vs, RouteKind::Peer);
+            }
+        }
+        // Re-run phase 3: everything exports down to customers again.
+        queue.extend((0..n as u32).filter(|&v| slots[v as usize].rec != NONE));
+        while let Some(v) = queue.pop_front() {
+            let vs = slots[v as usize];
+            let (nbrs, kinds) = graph.neighbor_slices(v as usize);
+            for (&u, &kind) in nbrs.iter().zip(kinds) {
+                if kind != NeighborKind::Customer {
+                    continue;
+                }
+                if relax!(u, v, vs, RouteKind::Provider) {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+
     // Compact the arena down to records reachable from a final slot, in
     // deterministic holder order.
     remap.clear();
@@ -397,6 +582,12 @@ fn compute_destination(graph: &AsGraph, d: u32, scratch: &mut Scratch) -> DestRo
     out
 }
 
+/// The default routing worker count ([`RoutingTable::compute`]'s choice):
+/// one worker per available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Route preference: lower `RouteKind` wins, then fewer hops, then lowest
 /// next-hop ASN for determinism.
 fn better(candidate: &Route, incumbent: Option<&Route>) -> bool {
@@ -419,15 +610,39 @@ pub mod reference {
 
     /// Computes best routes for every destination AS in the world.
     pub fn compute(graph: &AsGraph, world: &World) -> BTreeMap<Asn, BTreeMap<Asn, Route>> {
-        let mut routes = BTreeMap::new();
-        for dst in world.ases.iter().map(|a| a.asn) {
-            routes.insert(dst, compute_for_destination(graph, dst));
-        }
-        routes
+        compute_with(graph, world, &PolicyOverrides::none())
+    }
+
+    /// [`compute`] with control-plane policy overrides (the ground truth
+    /// for the dense engine's leak stage).
+    pub fn compute_with(
+        graph: &AsGraph,
+        world: &World,
+        overrides: &PolicyOverrides,
+    ) -> BTreeMap<Asn, BTreeMap<Asn, Route>> {
+        world
+            .ases
+            .iter()
+            .map(|a| (a.asn, compute_for_destination_with(graph, a.asn, overrides)))
+            .collect()
     }
 
     /// Computes best routes towards a single destination.
     pub fn compute_for_destination(graph: &AsGraph, dst: Asn) -> BTreeMap<Asn, Route> {
+        compute_for_destination_with(graph, dst, &PolicyOverrides::none())
+    }
+
+    /// [`compute_for_destination`] plus the leak stage: each leaker
+    /// re-announces its pre-leak best route to its providers and peers
+    /// (one leak round over the pre-leak snapshot, leakers in ascending
+    /// ASN order), then customer-route propagation, peer spread and the
+    /// downward export re-run — the exact sequence the dense engine's
+    /// leak stage performs.
+    pub fn compute_for_destination_with(
+        graph: &AsGraph,
+        dst: Asn,
+        overrides: &PolicyOverrides,
+    ) -> BTreeMap<Asn, Route> {
         let mut best: BTreeMap<Asn, Route> = BTreeMap::new();
         best.insert(dst, Route { as_path: vec![dst], kind: RouteKind::Origin });
 
@@ -479,6 +694,108 @@ pub mod reference {
         }
 
         // Phase 3: provider routes.
+        let mut queue: VecDeque<Asn> = best.keys().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            let v_route = best.get(&v).expect("queued nodes are routed").clone();
+            for (u, kind) in graph.neighbors(v) {
+                if kind != NeighborKind::Customer {
+                    continue;
+                }
+                if v_route.as_path.contains(&u) {
+                    continue;
+                }
+                let candidate = Route {
+                    as_path: std::iter::once(u).chain(v_route.as_path.iter().copied()).collect(),
+                    kind: RouteKind::Provider,
+                };
+                if better(&candidate, best.get(&u)) {
+                    best.insert(u, candidate);
+                    queue.push_back(u);
+                }
+            }
+        }
+
+        if overrides.is_empty() {
+            return best;
+        }
+
+        // Leak seeding: pre-leak snapshots, leakers ascending.
+        let leaked: Vec<(Asn, Route)> = overrides
+            .leakers()
+            .iter()
+            .filter_map(|&l| best.get(&l).map(|r| (l, r.clone())))
+            .filter(|(_, r)| matches!(r.kind, RouteKind::Peer | RouteKind::Provider))
+            .collect();
+        let mut queue: VecDeque<Asn> = VecDeque::new();
+        for (l, r) in leaked {
+            for (u, kind) in graph.neighbors(l) {
+                let accept = match kind {
+                    NeighborKind::Provider => RouteKind::Customer,
+                    NeighborKind::Peer => RouteKind::Peer,
+                    NeighborKind::Customer => continue, // legitimate export
+                };
+                if r.as_path.contains(&u) {
+                    continue;
+                }
+                let candidate = Route {
+                    as_path: std::iter::once(u).chain(r.as_path.iter().copied()).collect(),
+                    kind: accept,
+                };
+                if better(&candidate, best.get(&u)) {
+                    best.insert(u, candidate);
+                    if accept == RouteKind::Customer {
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+
+        // Re-run phase 1: leak-gained customer routes propagate up.
+        while let Some(v) = queue.pop_front() {
+            let v_route = best.get(&v).expect("queued nodes are routed").clone();
+            for (u, kind) in graph.neighbors(v) {
+                if kind != NeighborKind::Provider {
+                    continue;
+                }
+                if v_route.as_path.contains(&u) {
+                    continue;
+                }
+                let candidate = Route {
+                    as_path: std::iter::once(u).chain(v_route.as_path.iter().copied()).collect(),
+                    kind: RouteKind::Customer,
+                };
+                if better(&candidate, best.get(&u)) {
+                    best.insert(u, candidate);
+                    queue.push_back(u);
+                }
+            }
+        }
+
+        // Re-run phase 2: peer spread off the final customer set.
+        let customer_routed: Vec<(Asn, Route)> = best
+            .iter()
+            .filter(|(_, r)| matches!(r.kind, RouteKind::Customer | RouteKind::Origin))
+            .map(|(a, r)| (*a, r.clone()))
+            .collect();
+        for (v, v_route) in customer_routed {
+            for (u, kind) in graph.neighbors(v) {
+                if kind != NeighborKind::Peer {
+                    continue;
+                }
+                if v_route.as_path.contains(&u) {
+                    continue;
+                }
+                let candidate = Route {
+                    as_path: std::iter::once(u).chain(v_route.as_path.iter().copied()).collect(),
+                    kind: RouteKind::Peer,
+                };
+                if better(&candidate, best.get(&u)) {
+                    best.insert(u, candidate);
+                }
+            }
+        }
+
+        // Re-run phase 3: downward export of everything that improved.
         let mut queue: VecDeque<Asn> = best.keys().copied().collect();
         while let Some(v) = queue.pop_front() {
             let v_route = best.get(&v).expect("queued nodes are routed").clone();

@@ -47,10 +47,23 @@ impl BgpUpdate {
 
 /// Derives the full update stream for a scenario from the given collector
 /// peers, ordered by (time, peer, prefix).
+///
+/// Routing state is diffed at every event *boundary* inside the horizon —
+/// starts and (for bounded events) ends — so a repaired cable or a
+/// withdrawn route leak produces its reconvergence churn, not just its
+/// onset.
 pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
     let mut updates = Vec::new();
-    let timeline = scenario.timeline();
-    if timeline.is_empty() {
+    let mut boundaries: Vec<SimTime> = scenario
+        .events
+        .iter()
+        .flat_map(|e| [Some(e.at), e.until])
+        .flatten()
+        .filter(|t| scenario.horizon.contains(*t))
+        .collect();
+    boundaries.sort();
+    boundaries.dedup();
+    if boundaries.is_empty() {
         return updates;
     }
 
@@ -65,24 +78,31 @@ pub fn derive_updates(scenario: &Scenario, peers: &[Asn]) -> Vec<BgpUpdate> {
     // RIB snapshots are memoized across events: a capture is one full
     // routing run plus per-(peer, origin) path materialization (the
     // dominant cost centre once routing went dense), but routing state is
-    // a pure function of the AS-graph topology. Events that leave
-    // connectivity untouched (congestion surges, cuts on already-dead
+    // a pure function of `(AS-graph topology, control-plane state)`.
+    // Events that change neither (congestion surges, cuts on already-dead
     // cables, sub-threshold disasters) reuse the previous snapshot and
     // produce no diff, instead of recomputing one capture per event.
+    // Control-plane incidents (prefix hijacks, route leaks) are
+    // *topology-neutral but routing-relevant*, which is why the
+    // `same_topology` check alone is not a sound skip condition — the
+    // active hijack/leak set must match, too.
     let world = &scenario.world;
-    let mut prev_graph = crate::graph::AsGraph::at_time(scenario, scenario.horizon.start);
-    let mut prev =
-        RibSnapshot::capture_from_graph(world, &prev_graph, peers, scenario.horizon.start);
-    for (at, _) in timeline {
+    let start = scenario.horizon.start;
+    let mut prev_graph = crate::graph::AsGraph::at_time(scenario, start);
+    let mut prev_control = scenario.control_plane_at(start);
+    let mut prev = RibSnapshot::capture_with(world, &prev_graph, peers, start, &prev_control);
+    for at in boundaries {
         let after_t = SimTime(at.0 + 1);
         let graph = crate::graph::AsGraph::at_time(scenario, after_t);
-        if graph.same_topology(&prev_graph) {
+        let control = scenario.control_plane_at(after_t);
+        if graph.same_topology(&prev_graph) && control == prev_control {
             continue;
         }
-        let next = RibSnapshot::capture_from_graph(world, &graph, peers, after_t);
+        let next = RibSnapshot::capture_with(world, &graph, peers, after_t, &control);
         diff_into(scenario, &prev, &next, at, &mut updates);
         prev = next;
         prev_graph = graph;
+        prev_control = control;
     }
 
     updates.sort_by_key(|a| (a.time, a.peer, a.prefix));
@@ -301,6 +321,78 @@ mod tests {
                 SimTime::EPOCH + SimDuration::days(7),
             );
         assert_eq!(derive_updates(&noisy, &peers), canonical);
+    }
+
+    #[test]
+    fn control_plane_events_produce_updates_despite_identical_topology() {
+        // A hijack and a bounded leak change no adjacency, so the old
+        // `same_topology`-only memoization would have (wrongly) skipped
+        // every capture and derived an empty stream.
+        let world = generate(&WorldConfig::default());
+        let victim = world.prefixes[0];
+        let hijacker = world
+            .ases
+            .iter()
+            .map(|a| a.asn)
+            .find(|&a| a != victim.origin)
+            .unwrap();
+        let at = SimTime::EPOCH + SimDuration::days(5);
+        let s = Scenario::quiet(world, 10).with_event(
+            EventKind::PrefixHijack { origin: hijacker, victim_prefix: victim.net },
+            at,
+        );
+        let peers: Vec<Asn> = s.world.ases.iter().take(40).map(|a| a.asn).collect();
+        let ups = derive_updates(&s, &peers);
+        assert!(!ups.is_empty(), "a hijack must generate announcements");
+        // Every update concerns the hijacked prefix, and the settled
+        // announcements all originate at the hijacker (updates are only
+        // emitted for vantage points that switched).
+        for u in &ups {
+            assert_eq!(u.prefix, victim.net);
+            assert!(u.time >= at);
+        }
+        let moas: Vec<Asn> = ups
+            .iter()
+            .filter_map(|u| match &u.kind {
+                UpdateKind::Announce { as_path } => as_path.last().copied(),
+                UpdateKind::Withdraw => None,
+            })
+            .filter(|o| *o == hijacker)
+            .collect();
+        assert!(!moas.is_empty(), "hijacked announcements must carry the bogus origin");
+    }
+
+    #[test]
+    fn bounded_leak_reconverges_at_both_window_edges() {
+        let world = generate(&WorldConfig::default());
+        let scenario0 = Scenario::quiet(world.clone(), 10);
+        let graph = crate::graph::AsGraph::at_time(&scenario0, SimTime::EPOCH);
+        // A multi-homed AS guarantees the leak changes some best path.
+        let leaker = world
+            .ases
+            .iter()
+            .map(|a| a.asn)
+            .find(|&a| graph.providers(a).len() >= 2)
+            .expect("multi-homed AS exists");
+        let start = SimTime::EPOCH + SimDuration::days(4);
+        let end = start + SimDuration::days(2);
+        let mut s = Scenario::quiet(world, 10);
+        s.push_event(EventKind::RouteLeak { leaker }, start, Some(end));
+        let peers: Vec<Asn> = s.world.ases.iter().take(40).map(|a| a.asn).collect();
+        let ups = derive_updates(&s, &peers);
+        assert!(!ups.is_empty(), "the leak must move some best paths");
+        let (onset, recovery): (Vec<_>, Vec<_>) = ups.iter().partition(|u| u.time < end);
+        assert!(!onset.is_empty(), "leak onset churn");
+        assert!(!recovery.is_empty(), "leak withdrawal churn at the window end");
+        // Onset announcements include leak-inflated paths crossing the
+        // leaker mid-path.
+        let through_leaker = onset.iter().any(|u| match &u.kind {
+            UpdateKind::Announce { as_path } => {
+                as_path.len() > 2 && as_path[1..as_path.len() - 1].contains(&leaker)
+            }
+            UpdateKind::Withdraw => false,
+        });
+        assert!(through_leaker, "some announced path must ride the leaker");
     }
 
     #[test]

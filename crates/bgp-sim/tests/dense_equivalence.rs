@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use bgp_sim::routing::{is_valley_free, reference};
-use bgp_sim::{AsGraph, RoutingTable};
+use bgp_sim::{AsGraph, PolicyOverrides, RoutingTable};
 use net_model::{Asn, SimDuration, SimTime};
 use world::{generate, EventKind, RelKind, Scenario, WorldConfig};
 
@@ -69,6 +69,83 @@ fn sharded_sweep_is_bit_identical_across_worker_counts() {
     assert_eq!(all1, all8, "1 vs 8 workers");
 }
 
+/// A leaker fixture on the default world: a multi-homed access AS (two
+/// or more providers), so the leak of one provider-learned route into
+/// the other provider is guaranteed to be an illegitimate export.
+fn default_world_leaker(scenario: &Scenario, graph: &AsGraph) -> PolicyOverrides {
+    let leaker = scenario
+        .world
+        .ases
+        .iter()
+        .map(|a| a.asn)
+        .find(|&a| graph.providers(a).len() >= 2)
+        .expect("the default world has multi-homed ASes");
+    PolicyOverrides::leaking([leaker])
+}
+
+#[test]
+fn dense_engine_matches_seed_with_route_leaks() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let overrides = default_world_leaker(&scenario, &graph);
+
+    let table = RoutingTable::compute_for_graph_with(&graph, 1, &overrides);
+    let nodes: Vec<Asn> = graph.nodes().collect();
+    for &dst in &nodes {
+        let expected = reference::compute_for_destination_with(&graph, dst, &overrides);
+        assert_eq!(table.reachable_from(dst), expected.len(), "holders towards {dst}");
+        for &src in &nodes {
+            assert_eq!(
+                table.route(src, dst),
+                expected.get(&src).cloned(),
+                "leaked route {src} -> {dst} diverges from the reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn route_leak_changes_routes_and_breaks_valley_freeness() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let overrides = default_world_leaker(&scenario, &graph);
+
+    let base = RoutingTable::compute_for_graph(&graph, 2);
+    let leaked = RoutingTable::compute_for_graph_with(&graph, 2, &overrides);
+    let base_routes: Vec<_> = base.iter().collect();
+    let leaked_routes: Vec<_> = leaked.iter().collect();
+    assert_ne!(base_routes, leaked_routes, "the leak must move at least one best path");
+
+    // Some selected path now rides the leak — and is no longer
+    // valley-free (the defining signature a leak detector keys on).
+    let violating = leaked_routes
+        .iter()
+        .filter(|(_, _, r)| !is_valley_free(&graph, &r.as_path))
+        .count();
+    assert!(violating > 0, "a leak must produce valley-violating selected paths");
+    // The quiet sweep stays entirely valley-free, as always.
+    assert!(base_routes.iter().all(|(_, _, r)| is_valley_free(&graph, &r.as_path)));
+}
+
+#[test]
+fn leak_sweep_is_bit_identical_across_worker_counts() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let overrides = default_world_leaker(&scenario, &graph);
+
+    let t1 = RoutingTable::compute_for_graph_with(&graph, 1, &overrides);
+    let t2 = RoutingTable::compute_for_graph_with(&graph, 2, &overrides);
+    let t8 = RoutingTable::compute_for_graph_with(&graph, 8, &overrides);
+    let all1: Vec<_> = t1.iter().collect();
+    let all2: Vec<_> = t2.iter().collect();
+    let all8: Vec<_> = t8.iter().collect();
+    assert_eq!(all1, all2, "1 vs 2 workers (leak pass)");
+    assert_eq!(all1, all8, "1 vs 8 workers (leak pass)");
+}
+
 /// A random small relationship graph: a loose tier structure (every
 /// non-top node buys transit from some lower-indexed node, so the graph is
 /// connected upwards) plus random extra provider and peer edges.
@@ -111,6 +188,32 @@ proptest! {
                 let dense = table.route(src, dst);
                 let seed = expected.get(&src).cloned();
                 prop_assert_eq!(dense, seed);
+            }
+        }
+    }
+
+    /// With arbitrary leaker sets the dense leak stage still matches the
+    /// reference byte-for-byte, at several worker counts.
+    #[test]
+    fn leak_overrides_match_seed_on_arbitrary_graphs(
+        spec in arbitrary_graph(),
+        picks in proptest::collection::vec(any::<u16>(), 0..4),
+    ) {
+        let (asns, edges) = spec;
+        let leakers: Vec<Asn> =
+            picks.iter().map(|&p| asns[p as usize % asns.len()]).collect();
+        let overrides = PolicyOverrides::leaking(leakers);
+        let graph = AsGraph::from_relationships(asns, edges);
+        let t1 = RoutingTable::compute_for_graph_with(&graph, 1, &overrides);
+        let t3 = RoutingTable::compute_for_graph_with(&graph, 3, &overrides);
+        let nodes: Vec<Asn> = graph.nodes().collect();
+        for &dst in &nodes {
+            let expected =
+                reference::compute_for_destination_with(&graph, dst, &overrides);
+            for &src in &nodes {
+                let dense = t1.route(src, dst);
+                prop_assert_eq!(dense.clone(), expected.get(&src).cloned());
+                prop_assert_eq!(dense, t3.route(src, dst));
             }
         }
     }

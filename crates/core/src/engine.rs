@@ -25,7 +25,7 @@ use llm::protocol::{QueryContext, WorkflowSummary};
 use llm::LanguageModel;
 use parking_lot::{Mutex, RwLock};
 use registry::Registry;
-use scenario_forge::{Family, FamilyParams, WorldCache};
+use scenario_forge::{Family, FamilyParams, SharedWorldCache};
 use toolkit::{ArtifactStore, StandardRuntime};
 use workflow::{execute_with, ExecOptions, ExecutionReport, Value, Workflow};
 use world::Scenario;
@@ -63,10 +63,13 @@ pub struct Engine {
     /// write-lock the readers ever contend with.
     curation: Mutex<()>,
     scenarios: Mutex<BTreeMap<String, ScenarioSlot>>,
-    /// Content-addressed `Arc<World>` cache: every scenario registered
+    /// Content-addressed `Arc<World>` view: every scenario registered
     /// through [`Engine::register_family`] whose config matches an
-    /// already-generated world shares that world.
-    worlds: WorldCache,
+    /// already-generated world shares that world. Generation delegates
+    /// to [`scenario_forge::global_cache`], so engine fleets, case
+    /// studies and benches in one process share one build per config;
+    /// the view keeps deterministic per-engine generation stats.
+    worlds: SharedWorldCache,
 }
 
 /// Outcome of [`Engine::register_scenario`].
@@ -116,7 +119,7 @@ impl Engine {
             })),
             curation: Mutex::new(()),
             scenarios: Mutex::new(BTreeMap::new()),
-            worlds: WorldCache::new(),
+            worlds: SharedWorldCache::over_global(),
         }
     }
 
@@ -183,7 +186,8 @@ impl Engine {
             .iter()
             .map(|blueprint| {
                 let key = format!("{}/{}", family.id(), blueprint.name);
-                let registration = self.register_scenario(&key, blueprint.forge(&self.worlds));
+                let world = self.worlds.get_or_generate(&blueprint.config);
+                let registration = self.register_scenario(&key, blueprint.realize(world));
                 FamilyScenario {
                     key,
                     scenario: registration.scenario,
@@ -204,9 +208,10 @@ impl Engine {
         families.iter().flat_map(|f| self.register_family(*f, params)).collect()
     }
 
-    /// The engine's content-addressed world cache (diagnostics: distinct
-    /// worlds held, worlds actually generated).
-    pub fn world_cache(&self) -> &WorldCache {
+    /// The engine's content-addressed world-cache view (diagnostics:
+    /// distinct worlds this engine requested; actual builds happen at
+    /// most once per process in the global cache underneath).
+    pub fn world_cache(&self) -> &SharedWorldCache {
         &self.worlds
     }
 
@@ -633,9 +638,37 @@ mod tests {
             assert_eq!(run.solution.source_code, sequential.solution.source_code);
             assert_eq!(run.report, sequential.report);
         }
-        // The scenario's store served every session; the expensive
-        // artifacts were built once, not once per session.
-        let store_len = engine.session("cs2").unwrap().runtime().artifacts().len();
-        assert_eq!(store_len, 2, "mapping + default_deps, shared across sessions");
+        // The expensive artifacts (mapping, default deps) are world-level
+        // now: the scenario store stays empty and every session serves
+        // them from the shared world-keyed store.
+        let runtime = engine.session("cs2").unwrap().runtime();
+        assert!(runtime.artifacts().is_empty(), "no scenario-level artifacts for cs2");
+        assert!(runtime.world_artifacts().contains("nautilus.mapping"));
+        assert!(runtime.world_artifacts().contains("nautilus.default_deps"));
+    }
+
+    #[test]
+    fn engine_fleets_share_the_process_wide_world_cache() {
+        // The PR-5 cache unification: a fleet whose config matches the
+        // standard evaluation world holds the *same* Arc<World> the case
+        // studies draw from scenario_forge::global_cache() — no duplicate
+        // generation for a process mixing both. FamilyParams::default()
+        // scripts over WorldConfig::default(), the standard world.
+        let engine = engine();
+        let params = scenario_forge::FamilyParams::default();
+        let fleet = engine.register_family(scenario_forge::Family::RegionalBlackout, &params);
+        let standard = toolkit::scenarios::standard_world();
+        assert!(
+            Arc::ptr_eq(&fleet[0].scenario.world, &standard),
+            "engine fleet and case studies share one world generation"
+        );
+        // The per-engine stats hook still reads deterministically even
+        // though the global cache may already have been warm.
+        assert_eq!(engine.world_cache().generations(), 1);
+        assert!(engine
+            .world_cache()
+            .shared()
+            .get(&world::WorldConfig::default())
+            .is_some());
     }
 }

@@ -343,6 +343,55 @@ pub fn decompose(req: &DecomposeRequest) -> Decomposition {
                     .into(),
             );
         }
+        Intent::ControlPlaneForensics => {
+            complexity = Complexity::Complex;
+            args.insert(
+                "window".into(),
+                ResolvedArg { format: DataFormat::TimeWindow, value: full_window.clone() },
+            );
+            sub_problems.extend([
+                SubProblem::new(
+                    "moas_detection",
+                    "detect MOAS conflicts: prefixes announced by more than one origin AS",
+                    DataFormat::MoasConflicts,
+                    &[],
+                ),
+                SubProblem::new(
+                    "leak_detection",
+                    "detect announced AS paths violating the valley-free export rule",
+                    DataFormat::ValleyViolations,
+                    &[],
+                ),
+                SubProblem::new(
+                    "attribution",
+                    "attribute the incident (hijack vs leak) and identify the offending AS",
+                    DataFormat::ControlPlaneReport,
+                    &["moas_detection", "leak_detection"],
+                ),
+                SubProblem::new(
+                    "incident_impact",
+                    "quantify which ASes and countries the incident misdirects",
+                    DataFormat::CountryImpactTable,
+                    &["attribution"],
+                ),
+            ]);
+            constraints.extend([
+                "MOAS detection needs the baseline RIB, not the update stream alone \
+                 (partial hijacks leave unaffected peers silent)"
+                    .to_string(),
+                "valley checks run against the scenario's reference topology".to_string(),
+            ]);
+            success.extend([
+                "the offending AS identified with confidence, or control-plane causes ruled \
+                 out"
+                    .to_string(),
+                "the misdirected ASes and countries quantified".to_string(),
+            ]);
+            risks.push(
+                "path prepending mimics exploration transients; detectors must collapse it"
+                    .into(),
+            );
+        }
         Intent::RiskAssessment => {
             complexity = Complexity::Simple;
             sub_problems.push(SubProblem::new(
@@ -509,6 +558,7 @@ pub fn implement(req: &ImplementRequest) -> ImplementationPlan {
         Intent::DisasterImpact => "disaster-impact",
         Intent::CascadeAnalysis => "cascade-analysis",
         Intent::ForensicRootCause => "forensic-rca",
+        Intent::ControlPlaneForensics => "control-plane-forensics",
         Intent::RiskAssessment => "risk-assessment",
         Intent::Generic => "generic",
     };

@@ -167,6 +167,13 @@ pub fn classify_intent(query: &str, entities: &Entities) -> Intent {
     if q.contains("cascad") {
         return Intent::CascadeAnalysis;
     }
+    // Control-plane vocabulary wins over the generic forensic verbs: a
+    // hijack question usually also asks what "caused" the anomaly.
+    let control_plane_nouns =
+        ["hijack", "route leak", "leaked route", "moas", "multiple origin", "bogus origin"];
+    if control_plane_nouns.iter().any(|n| q.contains(n)) {
+        return Intent::ControlPlaneForensics;
+    }
     let forensic_verbs = ["caused", "cause", "root cause", "determine if", "why", "identify the specific"];
     let anomaly_nouns = ["latency", "anomaly", "increase", "degradation", "slow"];
     if forensic_verbs.iter().any(|v| q.contains(v))

@@ -50,6 +50,9 @@ pub enum Intent {
     CascadeAnalysis,
     /// Root-cause forensic investigation (case study 4).
     ForensicRootCause,
+    /// Control-plane incident forensics: prefix hijack / route leak
+    /// attribution from MOAS conflicts and export-rule violations.
+    ControlPlaneForensics,
     /// Country/AS resilience profiling.
     RiskAssessment,
     /// Unclassified measurement question.

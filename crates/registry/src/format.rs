@@ -58,6 +58,13 @@ pub enum DataFormat {
     RibSnapshot,
     /// Detected update bursts.
     BgpBursts,
+    /// Detected MOAS (multiple-origin AS) conflicts.
+    MoasConflicts,
+    /// Announced paths violating the valley-free export rule.
+    ValleyViolations,
+    /// Attributed control-plane incident (hijack/leak) with the
+    /// offending AS and confidence.
+    ControlPlaneReport,
 
     // -- traceroute --
     /// A traceroute campaign (raw measurements).
@@ -99,6 +106,8 @@ impl DataFormat {
                 | (DataFormat::RiskProfiles, DataFormat::Table)
                 | (DataFormat::SuspectRanking, DataFormat::Table)
                 | (DataFormat::RttSeries, DataFormat::Table)
+                | (DataFormat::MoasConflicts, DataFormat::Table)
+                | (DataFormat::ValleyViolations, DataFormat::Table)
         )
     }
 
@@ -109,7 +118,8 @@ impl DataFormat {
             Text, Scalar, TimeWindow, RegionScope, CountrySet, CableRef, DisasterSpecs,
             MappingTable, DependencyTable, CableDependencies, FailureEventSpec, FailureImpact,
             ImpactReport, CountryImpactTable, CascadeTimeline, RiskProfiles, BgpUpdates,
-            RibSnapshot, BgpBursts, TracerouteCampaign, RttSeries, AnomalyReport, SuspectRanking,
+            RibSnapshot, BgpBursts, MoasConflicts, ValleyViolations, ControlPlaneReport,
+            TracerouteCampaign, RttSeries, AnomalyReport, SuspectRanking,
             CorrelationReport, ForensicVerdict, UnifiedTimeline, QaReport, Table, Any,
         ]
     }

@@ -84,12 +84,81 @@ impl WorldCache {
 }
 
 /// The process-wide world cache. `toolkit::scenarios` routes the
-/// standard evaluation world through it, so case studies, benches and
+/// standard evaluation world through it, and `arachnet::Engine` delegates
+/// through a [`SharedWorldCache`] view, so case studies, benches and
 /// engine fleets in one process all share a single generation per
 /// config.
 pub fn global_cache() -> &'static WorldCache {
     static CACHE: OnceLock<WorldCache> = OnceLock::new();
     CACHE.get_or_init(WorldCache::new)
+}
+
+/// A per-owner view over a shared [`WorldCache`] (usually the process
+/// global): generation delegates to the shared cache — so a process
+/// mixing case-study scenarios with engine fleets pays **one** build per
+/// config instead of one per cache — while the view keeps its own
+/// deterministic stats hook.
+///
+/// The hook counts the *distinct configs first requested through this
+/// view*: exactly the number of generations a private cache would have
+/// performed for this owner, regardless of what other owners (or earlier
+/// tests in the process) already warmed in the shared cache. That keeps
+/// per-engine diagnostics deterministic; [`SharedWorldCache::shared`]
+/// exposes the underlying cache for process-wide truth.
+pub struct SharedWorldCache {
+    shared: &'static WorldCache,
+    requested: Mutex<std::collections::BTreeSet<WorldConfig>>,
+}
+
+impl SharedWorldCache {
+    /// A view over the process-wide [`global_cache`].
+    pub fn over_global() -> SharedWorldCache {
+        SharedWorldCache::over(global_cache())
+    }
+
+    /// A view over an explicit shared cache.
+    pub fn over(shared: &'static WorldCache) -> SharedWorldCache {
+        SharedWorldCache { shared, requested: Mutex::new(std::collections::BTreeSet::new()) }
+    }
+
+    /// The shared world for `config` — generated at most once per
+    /// *process*, and recorded against this view's stats.
+    pub fn get_or_generate(&self, config: &WorldConfig) -> Arc<World> {
+        self.requested.lock().insert(config.clone());
+        self.shared.get_or_generate(config)
+    }
+
+    /// Distinct configs requested through this view — the number of
+    /// generations a private cache would have performed for this owner.
+    /// Deterministic regardless of what else warmed the shared cache.
+    pub fn generations(&self) -> usize {
+        self.requested.lock().len()
+    }
+
+    /// Alias of [`SharedWorldCache::generations`], mirroring
+    /// [`WorldCache::len`]'s "distinct configs held" reading.
+    pub fn len(&self) -> usize {
+        self.generations()
+    }
+
+    /// Whether nothing was requested through this view yet.
+    pub fn is_empty(&self) -> bool {
+        self.requested.lock().is_empty()
+    }
+
+    /// The underlying shared cache (process-wide stats live there).
+    pub fn shared(&self) -> &'static WorldCache {
+        self.shared
+    }
+
+    /// Content hashes of every config requested through this view,
+    /// ascending.
+    pub fn content_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> =
+            self.requested.lock().iter().map(|c| c.content_hash()).collect();
+        hashes.sort_unstable();
+        hashes
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +192,31 @@ mod tests {
         let cache = WorldCache::new();
         assert!(cache.is_empty());
         assert!(cache.get(&WorldConfig::default()).is_none());
+    }
+
+    #[test]
+    fn shared_view_counts_deterministically_and_shares_arcs() {
+        // Two views over the global cache: each counts its own distinct
+        // requests (as if it owned a private cache), but both hand out
+        // the *same* Arc — one generation per process per config.
+        let a = SharedWorldCache::over_global();
+        let b = SharedWorldCache::over_global();
+        assert!(a.is_empty());
+        let config = WorldConfig { seed: 90_001, ..WorldConfig::default() };
+        let wa = a.get_or_generate(&config);
+        let wb = b.get_or_generate(&config);
+        assert!(Arc::ptr_eq(&wa, &wb), "views share the process-wide generation");
+        assert_eq!(a.generations(), 1);
+        assert_eq!(b.generations(), 1, "a warm shared cache still counts the request");
+        // Re-requesting through one view does not inflate its count.
+        let _ = a.get_or_generate(&config);
+        assert_eq!(a.generations(), 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.content_hashes(), vec![config.content_hash()]);
+        // The view's stats see only its own traffic.
+        let other = WorldConfig { seed: 90_002, ..WorldConfig::default() };
+        let _ = b.get_or_generate(&other);
+        assert_eq!(b.generations(), 2);
+        assert_eq!(a.generations(), 1);
     }
 }

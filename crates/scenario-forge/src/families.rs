@@ -20,10 +20,10 @@
 
 use net_model::Region;
 use world::events::stable_hash;
-use world::WorldConfig;
+use world::{AsTier, WorldConfig};
 
 use crate::blueprint::ScenarioBlueprint;
-use crate::script::{CableTarget, DisasterSite, ScriptStep};
+use crate::script::{AsTarget, CableTarget, DisasterSite, ScriptStep};
 
 /// The knobs every family expansion is a pure function of.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,11 +114,19 @@ pub enum Family {
     /// An infrastructure-buildout world: extra regional festoon systems
     /// on the same curated backbone.
     FestoonBuildout,
+    /// A transit AS in one region originates an access network's
+    /// prefixes in another — the classic (partial) prefix hijack, live
+    /// at `now` so forensic queries can observe the MOAS split.
+    TargetedPrefixHijack,
+    /// A mid-tier transit AS accidentally re-exports its full table to
+    /// peers and providers for a bounded window (leaks get noticed and
+    /// fixed), so the stream shows both the leak and the recovery churn.
+    AccidentalTransitLeak,
 }
 
 impl Family {
     /// Every family, in canonical order.
-    pub const ALL: [Family; 9] = [
+    pub const ALL: [Family; 11] = [
         Family::RegionalBlackout,
         Family::CableCutCascade,
         Family::NationalCensorship,
@@ -128,6 +136,8 @@ impl Family {
         Family::CableRepairWindow,
         Family::CorridorCongestionStorm,
         Family::FestoonBuildout,
+        Family::TargetedPrefixHijack,
+        Family::AccidentalTransitLeak,
     ];
 
     /// Stable kebab-case identifier (the engine's key prefix).
@@ -142,6 +152,8 @@ impl Family {
             Family::CableRepairWindow => "cable-repair-window",
             Family::CorridorCongestionStorm => "corridor-congestion-storm",
             Family::FestoonBuildout => "festoon-buildout",
+            Family::TargetedPrefixHijack => "targeted-prefix-hijack",
+            Family::AccidentalTransitLeak => "accidental-transit-leak",
         }
     }
 
@@ -163,6 +175,12 @@ impl Family {
             Family::CableRepairWindow => "a cable fails and is repaired inside the horizon",
             Family::CorridorCongestionStorm => "rolling congestion across several corridors",
             Family::FestoonBuildout => "extra regional festoon systems on the same backbone",
+            Family::TargetedPrefixHijack => {
+                "a transit AS originates an access network's prefixes (MOAS hijack)"
+            }
+            Family::AccidentalTransitLeak => {
+                "a transit AS leaks its full table to peers and providers, then recovers"
+            }
         }
     }
 
@@ -317,6 +335,47 @@ impl Family {
                         config.festoon_cables = 30 + 15 * (i + 1);
                         name = format!("v{i}-buildout");
                     }
+                    Family::TargetedPrefixHijack => {
+                        // Victim and hijacker rotate through distinct
+                        // regions; intensity widens the hijack from one
+                        // prefix to the victim's whole announcement set.
+                        let vr = Region::ALL[(offset + i) % Region::ALL.len()];
+                        // The next region along: always distinct from vr.
+                        let hr = Region::ALL[(offset + i + 1) % Region::ALL.len()];
+                        name = format!("v{i}-{}-vs-{}", region_slug(hr), region_slug(vr));
+                        script.push(ScriptStep::HijackPrefixes {
+                            hijacker: AsTarget::TierRank {
+                                region: hr,
+                                tier: AsTier::Transit,
+                                rank: i % 2,
+                            },
+                            victim: AsTarget::TierRank {
+                                region: vr,
+                                tier: AsTier::Access,
+                                rank: i % 3,
+                            },
+                            prefixes: 1 + (intensity * 3.0) as usize,
+                            at_hour: mid_hour,
+                            until_hour: None,
+                        });
+                    }
+                    Family::AccidentalTransitLeak => {
+                        let region = Region::ALL[(offset + i) % Region::ALL.len()];
+                        name = format!("v{i}-{}", region_slug(region));
+                        // Leaks get noticed: the window closes within a
+                        // day, well before `now`, so both the onset and
+                        // the withdrawal churn are observable.
+                        let duration = 6 + (18.0 * intensity) as i64;
+                        script.push(ScriptStep::LeakRoutes {
+                            leaker: AsTarget::TierRank {
+                                region,
+                                tier: AsTier::Transit,
+                                rank: i % 2,
+                            },
+                            at_hour: mid_hour,
+                            until_hour: Some(mid_hour + duration),
+                        });
+                    }
                 }
                 ScenarioBlueprint {
                     name,
@@ -365,12 +424,35 @@ mod tests {
             Family::IxpOutage,
             Family::CableRepairWindow,
             Family::CorridorCongestionStorm,
+            Family::TargetedPrefixHijack,
+            Family::AccidentalTransitLeak,
         ]
         .iter()
         .flat_map(|f| f.expand(&params))
         .map(|b| b.world_hash())
         .collect();
-        assert_eq!(shared.len(), 1, "one world config across six families");
+        assert_eq!(shared.len(), 1, "one world config across eight families");
+    }
+
+    #[test]
+    fn control_plane_families_script_the_new_steps() {
+        let params = FamilyParams::default();
+        for bp in Family::TargetedPrefixHijack.expand(&params) {
+            assert_eq!(bp.script.len(), 1, "{}", bp.name);
+            assert!(
+                matches!(bp.script[0], ScriptStep::HijackPrefixes { until_hour: None, .. }),
+                "hijacks persist through the horizon"
+            );
+        }
+        for bp in Family::AccidentalTransitLeak.expand(&params) {
+            assert_eq!(bp.script.len(), 1, "{}", bp.name);
+            let ScriptStep::LeakRoutes { at_hour, until_hour: Some(until), .. } = bp.script[0]
+            else {
+                panic!("leaks are bounded");
+            };
+            assert!(until > at_hour);
+            assert!(until <= 24 * params.horizon_days, "recovery inside the horizon");
+        }
     }
 
     #[test]
@@ -417,7 +499,9 @@ mod tests {
                             ScriptStep::CutCables { at_hour, until_hour, .. }
                             | ScriptStep::Earthquake { at_hour, until_hour, .. }
                             | ScriptStep::Hurricane { at_hour, until_hour, .. }
-                            | ScriptStep::Congestion { at_hour, until_hour, .. } => {
+                            | ScriptStep::Congestion { at_hour, until_hour, .. }
+                            | ScriptStep::HijackPrefixes { at_hour, until_hour, .. }
+                            | ScriptStep::LeakRoutes { at_hour, until_hour, .. } => {
                                 (*at_hour, *until_hour)
                             }
                         };

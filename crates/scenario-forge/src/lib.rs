@@ -8,8 +8,9 @@
 //! * a [`Family`] is a named generator (regional blackout, multi-cable
 //!   cut cascade, national censorship, transit de-peering, IXP outage,
 //!   seasonal eyeball growth, submarine-cable repair window, corridor
-//!   congestion storm, festoon buildout) that expands a [`FamilyParams`]
-//!   into a fleet of [`ScenarioBlueprint`]s;
+//!   congestion storm, festoon buildout, targeted prefix hijack,
+//!   accidental transit leak) that expands a [`FamilyParams`] into a
+//!   fleet of [`ScenarioBlueprint`]s;
 //! * a [`ScenarioBlueprint`] is pure data: a [`world::WorldConfig`]
 //!   naming the world, plus an **event script** ([`ScriptStep`]) whose
 //!   targets ("the top-2 Europe–Asia corridor cables", "every cable
@@ -34,6 +35,6 @@ pub mod families;
 pub mod script;
 
 pub use blueprint::ScenarioBlueprint;
-pub use cache::{global_cache, WorldCache};
+pub use cache::{global_cache, SharedWorldCache, WorldCache};
 pub use families::{Family, FamilyParams};
-pub use script::{CableTarget, DisasterSite, ScriptStep};
+pub use script::{AsTarget, CableTarget, DisasterSite, ScriptStep};

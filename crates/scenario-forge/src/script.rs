@@ -8,10 +8,10 @@
 //! "the Asian region hub") and resolves against a concrete [`World`]
 //! deterministically: same world, same script, same events — always.
 
-use net_model::{CableId, Country, GeoPoint, Region, SimDuration, SimTime};
+use net_model::{Asn, CableId, Country, GeoPoint, Region, SimDuration, SimTime};
 use net_model::geo::GeoCircle;
 use serde::{Deserialize, Serialize};
-use world::{EventKind, World};
+use world::{AsTier, EventKind, World};
 
 /// Which cables a cut targets. Resolution is total (unknown names or
 /// out-of-range ranks resolve to no cables) and deterministic (results
@@ -61,6 +61,40 @@ impl CableTarget {
                         .then(x.id.cmp(&y.id))
                 });
                 corridor.get(*rank).map(|c| c.id).into_iter().collect()
+            }
+        }
+    }
+}
+
+/// Which AS a control-plane incident names. Resolution is total
+/// (regions/tiers with too few ASes resolve to nothing) and
+/// deterministic: ASes of the tier registered in the region, ranked by
+/// **descending announced-prefix count** (the juicier target / the
+/// bigger leaker) with ascending ASN as the tie-break.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AsTarget {
+    /// The `rank`-th (0-based) AS of the tier in the region, by the
+    /// ranking above.
+    TierRank { region: Region, tier: AsTier, rank: usize },
+}
+
+impl AsTarget {
+    /// The AS this target names in `world`, if any.
+    pub fn resolve(&self, world: &World) -> Option<Asn> {
+        match self {
+            AsTarget::TierRank { region, tier, rank } => {
+                let mut candidates: Vec<(usize, Asn)> = world
+                    .ases
+                    .iter()
+                    .filter(|a| a.region == *region && a.tier == *tier)
+                    .map(|a| {
+                        let prefixes =
+                            world.prefixes.iter().filter(|p| p.origin == a.asn).count();
+                        (prefixes, a.asn)
+                    })
+                    .collect();
+                candidates.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+                candidates.get(*rank).map(|(_, asn)| *asn)
             }
         }
     }
@@ -119,6 +153,21 @@ pub enum ScriptStep {
         at_hour: i64,
         until_hour: Option<i64>,
     },
+    /// The hijacker originates up to `prefixes` of the victim's announced
+    /// prefixes, in ascending prefix order. Resolves to one
+    /// [`EventKind::PrefixHijack`] per hijacked prefix; nothing if
+    /// `prefixes` is zero, either AS target resolves to nothing, the
+    /// targets coincide, or the victim announces no prefix.
+    HijackPrefixes {
+        hijacker: AsTarget,
+        victim: AsTarget,
+        prefixes: usize,
+        at_hour: i64,
+        until_hour: Option<i64>,
+    },
+    /// The leaker re-exports its best routes to every neighbour for the
+    /// window — the accidental "full table to my peers" leak.
+    LeakRoutes { leaker: AsTarget, at_hour: i64, until_hour: Option<i64> },
 }
 
 /// A resolved incident, ready to push onto a scenario timeline.
@@ -166,6 +215,41 @@ impl ScriptStep {
                     until_hour.map(at),
                 )]
             }
+            ScriptStep::HijackPrefixes { hijacker, victim, prefixes, at_hour, until_hour } => {
+                let (Some(hijacker), Some(victim)) =
+                    (hijacker.resolve(world), victim.resolve(world))
+                else {
+                    return Vec::new();
+                };
+                if hijacker == victim {
+                    return Vec::new();
+                }
+                let mut victim_nets: Vec<_> = world
+                    .prefixes
+                    .iter()
+                    .filter(|p| p.origin == victim)
+                    .map(|p| p.net)
+                    .collect();
+                victim_nets.sort();
+                victim_nets
+                    .into_iter()
+                    .take(*prefixes)
+                    .map(|net| {
+                        (
+                            EventKind::PrefixHijack { origin: hijacker, victim_prefix: net },
+                            at(*at_hour),
+                            until_hour.map(at),
+                        )
+                    })
+                    .collect()
+            }
+            ScriptStep::LeakRoutes { leaker, at_hour, until_hour } => leaker
+                .resolve(world)
+                .map(|leaker| {
+                    (EventKind::RouteLeak { leaker }, at(*at_hour), until_hour.map(at))
+                })
+                .into_iter()
+                .collect(),
         }
     }
 }
@@ -216,6 +300,82 @@ mod tests {
         assert_ne!(r0[0], r1[0]);
         assert!(w.cable(r0[0]).capacity_tbps >= w.cable(r1[0]).capacity_tbps);
         assert!(rank(10_000).is_empty(), "out-of-range rank resolves to nothing");
+    }
+
+    #[test]
+    fn as_target_ranks_by_prefix_count_and_is_total() {
+        let w = test_world();
+        let rank = |r| {
+            AsTarget::TierRank { region: Region::Asia, tier: world::AsTier::Transit, rank: r }
+                .resolve(&w)
+        };
+        let (r0, r1) = (rank(0), rank(1));
+        let (a0, a1) = (r0.expect("Asia has transit ASes"), r1.expect("more than one"));
+        assert_ne!(a0, a1);
+        let prefixes =
+            |asn| w.prefixes.iter().filter(|p| p.origin == asn).count();
+        assert!(prefixes(a0) >= prefixes(a1), "rank 0 announces at least as many prefixes");
+        let info = w.as_info(a0).unwrap();
+        assert_eq!(info.region, Region::Asia);
+        assert_eq!(info.tier, world::AsTier::Transit);
+        assert_eq!(rank(10_000), None, "out-of-range rank resolves to nothing");
+    }
+
+    #[test]
+    fn hijack_and_leak_steps_resolve_to_control_plane_events() {
+        let w = test_world();
+        let hijack = ScriptStep::HijackPrefixes {
+            hijacker: AsTarget::TierRank {
+                region: Region::Europe,
+                tier: world::AsTier::Transit,
+                rank: 0,
+            },
+            victim: AsTarget::TierRank {
+                region: Region::Asia,
+                tier: world::AsTier::Access,
+                rank: 0,
+            },
+            prefixes: 2,
+            at_hour: 48,
+            until_hour: None,
+        };
+        let events = hijack.resolve(&w);
+        assert!(!events.is_empty() && events.len() <= 2, "got {}", events.len());
+        for (kind, at, until) in &events {
+            let EventKind::PrefixHijack { origin, victim_prefix } = kind else {
+                panic!("expected a hijack, got {kind:?}");
+            };
+            let legit =
+                w.prefixes.iter().find(|p| p.net == *victim_prefix).expect("real prefix");
+            assert_ne!(legit.origin, *origin, "hijacker must not be the owner");
+            assert_eq!(*at, SimTime::EPOCH + SimDuration::hours(48));
+            assert_eq!(*until, None);
+        }
+
+        let leak = ScriptStep::LeakRoutes {
+            leaker: AsTarget::TierRank {
+                region: Region::Europe,
+                tier: world::AsTier::Transit,
+                rank: 1,
+            },
+            at_hour: 24,
+            until_hour: Some(36),
+        };
+        let events = leak.resolve(&w);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].0, EventKind::RouteLeak { .. }));
+
+        // Unresolvable targets resolve to no events, not a panic.
+        let nothing = ScriptStep::LeakRoutes {
+            leaker: AsTarget::TierRank {
+                region: Region::Oceania,
+                tier: world::AsTier::Tier1,
+                rank: 50,
+            },
+            at_hour: 24,
+            until_hour: None,
+        };
+        assert!(nothing.resolve(&w).is_empty());
     }
 
     #[test]

@@ -159,6 +159,68 @@ fn cache_hands_one_arc_to_every_thread() {
 }
 
 #[test]
+fn control_plane_families_realize_into_control_plane_events() {
+    let cache = WorldCache::new();
+    let params = FamilyParams::default();
+
+    // Expansion is byte-identical across runs (the two new families ride
+    // the same determinism contract as the original nine).
+    for family in [Family::TargetedPrefixHijack, Family::AccidentalTransitLeak] {
+        let a = family.expand(&params);
+        let b = family.expand(&params);
+        assert_eq!(a, b);
+        let bytes = |fleet: &[scenario_forge::ScenarioBlueprint]| -> String {
+            fleet
+                .iter()
+                .map(|bp| serde_json::to_string(&bp.spec()).expect("spec serializes"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(bytes(&a), bytes(&b));
+    }
+
+    // Realized hijack scenarios carry PrefixHijack events that are live
+    // at `now` and name prefixes the victim actually announces.
+    let hijack_fleet = Family::TargetedPrefixHijack.expand(&params);
+    let mut hijack_events = 0usize;
+    for bp in &hijack_fleet {
+        let scenario = bp.forge(&cache);
+        for e in &scenario.events {
+            let world::EventKind::PrefixHijack { origin, victim_prefix } = &e.kind else {
+                panic!("{}: unexpected event {:?}", bp.name, e.kind);
+            };
+            hijack_events += 1;
+            let legit = scenario
+                .world
+                .prefixes
+                .iter()
+                .find(|p| p.net == *victim_prefix)
+                .expect("hijacked prefix exists in the world");
+            assert_ne!(legit.origin, *origin);
+            assert!(e.active_at(scenario.now), "hijack live at now");
+        }
+        assert!(!scenario.control_plane_at(scenario.now).is_quiet());
+    }
+    assert!(hijack_events > 0, "the fleet must hijack something");
+
+    // Realized leak scenarios carry bounded RouteLeak events whose
+    // windows close inside the horizon.
+    for bp in Family::AccidentalTransitLeak.expand(&params) {
+        let scenario = bp.forge(&cache);
+        assert!(!scenario.events.is_empty(), "{}: leaker must resolve", bp.name);
+        for e in &scenario.events {
+            assert!(matches!(e.kind, world::EventKind::RouteLeak { .. }));
+            let until = e.until.expect("leaks are bounded");
+            assert!(scenario.horizon.contains(e.at));
+            assert!(until <= scenario.horizon.end);
+        }
+    }
+
+    // Both families script over the shared base config: one generation.
+    assert_eq!(cache.generations(), 1);
+}
+
+#[test]
 fn full_forge_fleet_dedups_worlds_through_the_cache() {
     let cache = WorldCache::new();
     let params = FamilyParams::default();

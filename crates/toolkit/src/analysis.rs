@@ -1,12 +1,14 @@
 //! Analytical utilities the generated workflows compose: latency anomaly
 //! detection, suspect-cable scoring, evidence correlation and synthesis,
-//! and unified timeline construction.
+//! control-plane incident attribution, and unified timeline construction.
 //!
-//! All functions are pure over the [`crate::data`] schemas, so they can be
-//! unit-tested without a world and invoked by the runtime with serialized
-//! inputs.
+//! All functions are pure over the [`crate::data`] schemas (plus the BGP
+//! substrate's serializable detector outputs), so they can be unit-tested
+//! without a world and invoked by the runtime with serialized inputs.
 
 use std::collections::BTreeMap;
+
+use bgp_sim::{MoasConflict, ValleyViolation};
 
 use crate::data::*;
 
@@ -26,6 +28,94 @@ pub fn rtt_series(campaign: &CampaignData, bucket_seconds: i64) -> SeriesData {
     SeriesData {
         bucket_seconds,
         points: buckets.into_iter().map(|(t, (sum, n))| (t, sum / n as f64, n)).collect(),
+    }
+}
+
+/// Attributes a control-plane incident from the two detector streams.
+///
+/// MOAS conflicts are hijack evidence: every conflicting origin that is
+/// not the prefix's registered owner (per `legit_origins`, prefix in
+/// string form) votes for itself as the offender. Valley violations are
+/// leak evidence: each violation's pivot AS (where the path illegally
+/// turns back up) votes. Hijack evidence takes precedence — a hijack
+/// produces MOAS conflicts and no valley violations, a leak the reverse,
+/// so genuine incidents separate cleanly.
+pub fn attribute_control_plane(
+    moas: &[MoasConflict],
+    valleys: &[ValleyViolation],
+    legit_origins: &BTreeMap<String, u32>,
+) -> ControlPlaneReportData {
+    // Hijack votes: bogus origins across conflicts.
+    let mut bogus_votes: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut victim_prefixes: Vec<String> = Vec::new();
+    for c in moas {
+        let prefix = c.prefix.to_string();
+        let owner = legit_origins.get(&prefix).copied();
+        for o in &c.origins {
+            if owner != Some(o.0) {
+                *bogus_votes.entry(o.0).or_default() += 1;
+            }
+        }
+        victim_prefixes.push(prefix);
+    }
+    victim_prefixes.sort();
+    victim_prefixes.dedup();
+
+    // Leak votes: pivot ASes across violations.
+    let mut pivot_votes: BTreeMap<u32, usize> = BTreeMap::new();
+    for v in valleys {
+        if let Some(p) = v.pivot {
+            *pivot_votes.entry(p.0).or_default() += 1;
+        }
+    }
+
+    let top = |votes: &BTreeMap<u32, usize>| -> Option<(u32, usize)> {
+        votes.iter().map(|(&a, &n)| (a, n)).max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))
+    };
+
+    if let Some((offender, votes)) = top(&bogus_votes) {
+        let confidence = (0.55 + 0.1 * (votes.min(4) as f64)).min(0.95);
+        return ControlPlaneReportData {
+            kind: "prefix-hijack".into(),
+            offender: Some(offender),
+            moas_conflicts: moas.len(),
+            valley_violations: valleys.len(),
+            confidence,
+            narrative: format!(
+                "{} MOAS conflict(s) observed; AS{offender} originates {} prefix(es) it \
+                 does not own",
+                moas.len(),
+                victim_prefixes.len()
+            ),
+            victim_prefixes,
+        };
+    }
+    if let Some((offender, votes)) = top(&pivot_votes) {
+        let confidence = (0.55 + 0.05 * (votes.min(8) as f64)).min(0.95);
+        return ControlPlaneReportData {
+            kind: "route-leak".into(),
+            offender: Some(offender),
+            victim_prefixes: Vec::new(),
+            moas_conflicts: moas.len(),
+            valley_violations: valleys.len(),
+            confidence,
+            narrative: format!(
+                "{} announced path(s) violate the valley-free export rule, pivoting at \
+                 AS{offender}",
+                valleys.len()
+            ),
+        };
+    }
+    ControlPlaneReportData {
+        kind: "none".into(),
+        offender: None,
+        victim_prefixes: Vec::new(),
+        moas_conflicts: moas.len(),
+        valley_violations: valleys.len(),
+        confidence: 0.9,
+        narrative: "no MOAS conflicts and no export-rule violations: control-plane causes \
+                    ruled out"
+            .into(),
     }
 }
 

@@ -174,6 +174,30 @@ pub fn standard_registry() -> Registry {
     .with_tags(&["bgp", "anomaly", "burst", "churn"]));
 
     add(CapabilityEntry::new(
+        "bgp.detect_moas",
+        "bgp",
+        "detects MOAS conflicts: prefixes announced by more than one origin AS, against the baseline RIB",
+        vec![Param::required("updates", F::BgpUpdates)],
+        F::MoasConflicts,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["bgp", "moas", "hijack", "origin", "control-plane"])
+    .with_constraint("needs the baseline RIB; the stream alone misses silent vantage points"));
+
+    add(CapabilityEntry::new(
+        "bgp.valley_violations",
+        "bgp",
+        "detects announced AS paths violating the valley-free export rule, with the pivot AS attributed",
+        vec![Param::required("updates", F::BgpUpdates)],
+        F::ValleyViolations,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["bgp", "valley", "export", "control-plane"])
+    .with_constraint("paths are checked against the scenario's reference topology"));
+
+    add(CapabilityEntry::new(
         "bgp.reachability_losses",
         "bgp",
         "lists (peer, prefix) pairs withdrawn and never re-announced",
@@ -320,6 +344,32 @@ pub fn standard_registry() -> Registry {
     .with_cost(CostClass::Cheap)
     .with_reliability(0.9)
     .with_tags(&["forensic", "verdict", "synthesis", "causation", "confidence"]));
+
+    add(CapabilityEntry::new(
+        "util.attribute_control_plane",
+        "util",
+        "attributes a control-plane incident (prefix hijack vs route leak) and identifies the offending AS",
+        vec![
+            Param::required("moas", F::MoasConflicts),
+            Param::required("valleys", F::ValleyViolations),
+        ],
+        F::ControlPlaneReport,
+    )
+    .with_cost(CostClass::Cheap)
+    .with_reliability(0.9)
+    .with_tags(&["hijack", "attribution", "control-plane", "offender", "confidence"]));
+
+    add(CapabilityEntry::new(
+        "xaminer.control_plane_impact",
+        "xaminer",
+        "quantifies which ASes and countries an attributed control-plane incident misdirects",
+        vec![Param::required("report", F::ControlPlaneReport)],
+        F::CountryImpactTable,
+    )
+    .with_cost(CostClass::Moderate)
+    .with_reliability(0.9)
+    .with_tags(&["hijack", "impact", "control-plane", "country", "misdirection"])
+    .with_constraint("assessed against the world's quiet topology"));
 
     add(CapabilityEntry::new(
         "util.build_timeline",

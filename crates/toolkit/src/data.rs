@@ -175,6 +175,23 @@ impl CountryTableData {
     }
 }
 
+/// `ControlPlaneReport`: an attributed control-plane incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneReportData {
+    /// `"prefix-hijack"` | `"route-leak"` | `"none"`.
+    pub kind: String,
+    /// The offending AS, when an incident was attributed.
+    pub offender: Option<u32>,
+    /// Hijacked prefixes (string form), ascending; empty for leaks.
+    pub victim_prefixes: Vec<String>,
+    pub moas_conflicts: usize,
+    pub valley_violations: usize,
+    /// Attribution confidence, `[0, 1]`.
+    pub confidence: f64,
+    /// Evidence narrative for the analyst.
+    pub narrative: String,
+}
+
 /// `QaReport`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QaData {

@@ -21,9 +21,12 @@ use net_model::{CableId, Region, SimDuration, SimTime, TimeWindow};
 use parking_lot::Mutex;
 use registry::{DataFormat as F, FunctionId};
 use workflow::{ToolError, ToolRuntime, Value, ValueView};
-use world::Scenario;
+use world::{Scenario, World};
 
-use bgp_sim::{detect_update_bursts, BgpSimulator, BgpUpdate};
+use bgp_sim::{
+    detect_moas_conflicts, detect_update_bursts, detect_valley_violations, BgpSimulator,
+    BgpUpdate, MoasConflict, ValleyViolation,
+};
 use nautilus_sim::{DependencyTable, MappingConfig, MappingTable, NautilusMapper};
 use traceroute_sim::TracerouteSimulator;
 use xaminer_sim::{CascadeConfig, FailureEvent, FailureImpact};
@@ -84,16 +87,48 @@ impl ArtifactStore {
     pub fn is_empty(&self) -> bool {
         self.slots.lock().is_empty()
     }
+
+    /// Whether an artifact is cached (or being built) under `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots.lock().contains_key(key)
+    }
+}
+
+/// The process-wide store of **world-level** artifact stores,
+/// content-addressed by the world's full [`world::WorldConfig`] (the
+/// same bit-exact identity `scenario_forge::WorldCache` keys worlds by).
+///
+/// Artifacts that depend only on the world — the Nautilus mapping run,
+/// the default dependency table — used to live in the per-*scenario*
+/// stores, so scenarios sharing one `Arc<World>` (the whole point of the
+/// scenario-forge cache) still recomputed the mapping once per scenario
+/// key. Keying them by world content identity finishes the job: any
+/// number of scenarios, sessions and engines over one world share one
+/// mapping run per process.
+pub fn world_artifacts(world: &World) -> Arc<ArtifactStore> {
+    // Keyed by the full config (bit-exact `Ord`, the same identity the
+    // scenario-forge `WorldCache` uses), not the u64 content hash — a
+    // hash collision must not silently alias two worlds' artifacts.
+    static STORES: OnceLock<Mutex<BTreeMap<world::WorldConfig, Arc<ArtifactStore>>>> =
+        OnceLock::new();
+    let stores = STORES.get_or_init(|| Mutex::new(BTreeMap::new()));
+    Arc::clone(stores.lock().entry(world.config.clone()).or_default())
 }
 
 /// The standard runtime over one scenario.
 pub struct StandardRuntime {
     scenario: Arc<Scenario>,
+    /// Scenario-level artifacts (update streams, campaigns): shared by
+    /// every session of this scenario.
     artifacts: Arc<ArtifactStore>,
+    /// World-level artifacts (mapping run, default deps): shared by every
+    /// scenario over this world — see [`world_artifacts`].
+    world_artifacts: Arc<ArtifactStore>,
 }
 
 impl StandardRuntime {
-    /// A runtime owning a private artifact store.
+    /// A runtime owning a private scenario-level artifact store (the
+    /// world-level store is always the shared, content-addressed one).
     pub fn new(scenario: Scenario) -> Self {
         StandardRuntime::shared(Arc::new(scenario), Arc::new(ArtifactStore::new()))
     }
@@ -102,7 +137,8 @@ impl StandardRuntime {
     /// engine hands every session of a scenario the same store, so
     /// artifacts are computed once across all concurrent sessions.
     pub fn shared(scenario: Arc<Scenario>, artifacts: Arc<ArtifactStore>) -> Self {
-        StandardRuntime { scenario, artifacts }
+        let world_artifacts = world_artifacts(&scenario.world);
+        StandardRuntime { scenario, artifacts, world_artifacts }
     }
 
     /// The scenario under measurement.
@@ -110,15 +146,21 @@ impl StandardRuntime {
         &self.scenario
     }
 
-    /// The artifact store backing this runtime.
+    /// The scenario-level artifact store backing this runtime.
     pub fn artifacts(&self) -> &Arc<ArtifactStore> {
         &self.artifacts
+    }
+
+    /// The world-level artifact store this runtime shares with every
+    /// other scenario over the same world.
+    pub fn world_artifacts(&self) -> &Arc<ArtifactStore> {
+        &self.world_artifacts
     }
 
     // -- cached artifacts ---------------------------------------------------
 
     fn mapping_value(&self) -> Result<Value, ToolError> {
-        self.artifacts.get_or_build("nautilus.mapping", || {
+        self.world_artifacts.get_or_build("nautilus.mapping", || {
             let table = NautilusMapper::new(MappingConfig::default())
                 .map_world(&self.scenario.world);
             Ok(Value::native(F::MappingTable, table, false))
@@ -128,8 +170,10 @@ impl StandardRuntime {
     fn default_deps_value(&self) -> Result<Value, ToolError> {
         // Derive from the cached mapping artifact — the mapping run is the
         // expensive half and must not be recomputed per dependency table.
+        // Both are pure functions of the world, so they live in the
+        // world-keyed store.
         let mapping = self.mapping_value()?;
-        self.artifacts.get_or_build("nautilus.default_deps", || {
+        self.world_artifacts.get_or_build("nautilus.default_deps", || {
             let m: ValueView<'_, MappingTable> = view_of(&mapping, "cached mapping")?;
             let deps = DependencyTable::from_mapping(&self.scenario.world, &m, 0.2);
             Ok(Value::native(F::DependencyTable, deps, false))
@@ -142,6 +186,21 @@ impl StandardRuntime {
             let updates = sim.updates();
             let empty = updates.is_empty();
             Ok(Value::native(F::BgpUpdates, updates, empty))
+        })
+    }
+
+    fn baseline_rib_value(&self) -> Result<Value, ToolError> {
+        // The collector RIB at the horizon start: the MOAS detector's
+        // baseline. Scenario-level (the timeline could in principle start
+        // with an already-active incident).
+        self.artifacts.get_or_build("bgp.rib_baseline", || {
+            let sim = BgpSimulator::new(&self.scenario);
+            let rib = bgp_sim::RibSnapshot::capture(
+                &self.scenario,
+                sim.collectors(),
+                self.scenario.horizon.start,
+            );
+            Ok(Value::native(F::RibSnapshot, rib, false))
         })
     }
 }
@@ -337,6 +396,23 @@ impl ToolRuntime for StandardRuntime {
                 let bursts = detect_update_bursts(&updates, window, hours, 3.0);
                 out_seq(F::BgpBursts, bursts)
             }
+            "bgp.detect_moas" => {
+                let updates: ValueView<'_, Vec<BgpUpdate>> =
+                    view(function, "updates", need(args, function, "updates")?)?;
+                let baseline_value = self.baseline_rib_value()?;
+                let baseline: ValueView<'_, bgp_sim::RibSnapshot> =
+                    view_of(&baseline_value, "baseline rib")?;
+                out_seq(F::MoasConflicts, detect_moas_conflicts(&updates, &baseline))
+            }
+            "bgp.valley_violations" => {
+                let updates: ValueView<'_, Vec<BgpUpdate>> =
+                    view(function, "updates", need(args, function, "updates")?)?;
+                // Reference topology: the scenario's quiet start, whose
+                // adjacency set is a superset of every later instant's.
+                let graph =
+                    bgp_sim::AsGraph::at_time(&self.scenario, self.scenario.horizon.start);
+                out_seq(F::ValleyViolations, detect_valley_violations(&updates, &graph))
+            }
             "bgp.reachability_losses" => {
                 let updates: ValueView<'_, Vec<BgpUpdate>> =
                     view(function, "updates", need(args, function, "updates")?)?;
@@ -474,6 +550,26 @@ impl ToolRuntime for StandardRuntime {
                     analysis::synthesize_verdict(&suspects, &correlation, &anomaly),
                 )
             }
+            "util.attribute_control_plane" => {
+                let moas: ValueView<'_, Vec<MoasConflict>> =
+                    view(function, "moas", need(args, function, "moas")?)?;
+                let valleys: ValueView<'_, Vec<ValleyViolation>> =
+                    view(function, "valleys", need(args, function, "valleys")?)?;
+                let legit: BTreeMap<String, u32> = world
+                    .prefixes
+                    .iter()
+                    .map(|p| (p.net.to_string(), p.origin.0))
+                    .collect();
+                out(
+                    F::ControlPlaneReport,
+                    analysis::attribute_control_plane(&moas, &valleys, &legit),
+                )
+            }
+            "xaminer.control_plane_impact" => {
+                let report: ValueView<'_, ControlPlaneReportData> =
+                    view(function, "report", need(args, function, "report")?)?;
+                out(F::CountryImpactTable, control_plane_impact_table(world, &report))
+            }
             "util.build_timeline" => {
                 let cascade: ValueView<'_, xaminer_sim::CascadeTimeline> =
                     view(function, "cascade", need(args, function, "cascade")?)?;
@@ -564,6 +660,63 @@ fn combine_tables(a: &CountryTableData, b: &CountryTableData) -> CountryTableDat
         }
     }
     let mut rows: Vec<CountryRow> = by_country.into_values().collect();
+    rows.sort_by(|x, y| {
+        y.impact_score.partial_cmp(&x.impact_score).unwrap().then(x.country.cmp(&y.country))
+    });
+    CountryTableData { rows }
+}
+
+/// Builds the country-level impact table for an attributed control-plane
+/// incident: per country, how many of its registered ASes are
+/// misdirected (hijack capture cone) or path-shifted (leak), scored by
+/// that fraction. Physical columns (IPs/links) are zero — nothing fails.
+fn control_plane_impact_table(
+    world: &world::World,
+    report: &ControlPlaneReportData,
+) -> CountryTableData {
+    use xaminer_sim::ControlPlaneIncident;
+    let Some(offender) = report.offender else {
+        return CountryTableData { rows: Vec::new() };
+    };
+    let offender = net_model::Asn(offender);
+    let incidents: Vec<ControlPlaneIncident> = match report.kind.as_str() {
+        "prefix-hijack" => report
+            .victim_prefixes
+            .iter()
+            .filter_map(|p| net_model::Ipv4Net::parse(p).ok())
+            .map(|net| ControlPlaneIncident::PrefixHijack {
+                origin: offender,
+                victim_prefix: net,
+            })
+            .collect(),
+        "route-leak" => vec![ControlPlaneIncident::RouteLeak { leaker: offender }],
+        _ => Vec::new(),
+    };
+
+    let mut affected: BTreeMap<net_model::Country, std::collections::BTreeSet<net_model::Asn>> =
+        BTreeMap::new();
+    for impact in xaminer_sim::control_plane::assess_many(world, &incidents) {
+        for asn in impact.affected_ases {
+            if let Some(info) = world.as_info(asn) {
+                affected.entry(info.country).or_default().insert(asn);
+            }
+        }
+    }
+
+    let mut rows: Vec<CountryRow> = affected
+        .into_iter()
+        .map(|(country, ases)| {
+            let total = world.as_count_in_country(country).max(1);
+            CountryRow {
+                country: country.code().to_string(),
+                ips_affected: 0,
+                links_affected: 0,
+                ases_affected: ases.len(),
+                as_links_affected: 0,
+                impact_score: (ases.len() as f64 / total as f64).min(1.0),
+            }
+        })
+        .collect();
     rows.sort_by(|x, y| {
         y.impact_score.partial_cmp(&x.impact_score).unwrap().then(x.country.cmp(&y.country))
     });
@@ -786,13 +939,33 @@ mod tests {
         )
         .unwrap();
         invoke(&rt, "xaminer.event_impact", vec![("event", event)]).unwrap();
-        // The default dependency table derives from the shared mapping
-        // artifact: both cache keys exist after one event_impact call.
-        assert_eq!(rt.artifacts().len(), 2, "mapping + default_deps cached");
+        // Mapping and default deps are *world-level* artifacts now: they
+        // live in the world-keyed store, not the scenario store.
+        assert!(rt.artifacts().is_empty(), "no scenario-level artifacts for event_impact");
+        assert!(rt.world_artifacts().contains("nautilus.mapping"));
+        assert!(rt.world_artifacts().contains("nautilus.default_deps"));
         // And the mapping the store holds is the same one map_links serves.
-        let mapping = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
-        assert!(mapping.is_native());
-        assert_eq!(rt.artifacts().len(), 2, "map_links hit the cache");
+        let m1 = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
+        let m2 = invoke(&rt, "nautilus.map_links", vec![]).unwrap();
+        assert!(m1.is_native());
+        let p1: *const MappingTable = m1.native_ref::<MappingTable>().unwrap();
+        let p2: *const MappingTable = m2.native_ref::<MappingTable>().unwrap();
+        assert!(std::ptr::eq(p1, p2), "map_links serves the cached artifact");
+    }
+
+    #[test]
+    fn scenarios_sharing_a_world_share_the_mapping_artifact() {
+        // The PR-5 bugfix: cs1 (quiet) and cs3 (two cable cuts) are
+        // different scenarios with private scenario stores over the same
+        // Arc<World> — the Nautilus mapping run must be computed once.
+        let rt1 = StandardRuntime::new(scenarios::cs1_scenario());
+        let rt3 = StandardRuntime::new(scenarios::cs3_scenario());
+        assert!(Arc::ptr_eq(rt1.world_artifacts(), rt3.world_artifacts()));
+        let m1 = invoke(&rt1, "nautilus.map_links", vec![]).unwrap();
+        let m3 = invoke(&rt3, "nautilus.map_links", vec![]).unwrap();
+        let p1: *const MappingTable = m1.native_ref::<MappingTable>().unwrap();
+        let p3: *const MappingTable = m3.native_ref::<MappingTable>().unwrap();
+        assert!(std::ptr::eq(p1, p3), "one mapping run across scenarios sharing a world");
     }
 
     #[test]
@@ -826,7 +999,7 @@ mod tests {
 
         let m1 = invoke(&rt1, "nautilus.map_links", vec![]).unwrap();
         let m2 = invoke(&rt2, "nautilus.map_links", vec![]).unwrap();
-        assert_eq!(store.len(), 1, "one mapping artifact across both runtimes");
+        assert!(store.is_empty(), "the mapping lives in the world store, not the scenario one");
         // Both runtimes serve the same native artifact.
         let p1: *const MappingTable = m1.native_ref::<MappingTable>().unwrap();
         let p2: *const MappingTable = m2.native_ref::<MappingTable>().unwrap();
@@ -868,6 +1041,44 @@ mod tests {
         .unwrap();
         let b: Vec<bgp_sim::UpdateBurst> = bursts.parse().unwrap();
         assert!(!b.is_empty(), "two cable cuts must burst");
+    }
+
+    #[test]
+    fn control_plane_chain_attributes_the_cs5_hijack() {
+        let rt = StandardRuntime::new(scenarios::cs5_hijack_scenario());
+        let (hijacker, victim_prefix) = scenarios::cs5_actors(&rt.scenario().world);
+        let window = tv(F::TimeWindow, serde_json::json!({"start": 0, "end": 10 * 86_400}));
+        let updates = invoke(&rt, "bgp.updates", vec![("window", window)]).unwrap();
+
+        let moas =
+            invoke(&rt, "bgp.detect_moas", vec![("updates", updates.clone())]).unwrap();
+        let conflicts: Vec<bgp_sim::MoasConflict> = moas.parse().unwrap();
+        assert!(!conflicts.is_empty(), "the hijack must surface as a MOAS conflict");
+        assert!(conflicts.iter().any(|c| c.prefix == victim_prefix));
+        assert!(conflicts.iter().any(|c| c.origins.contains(&net_model::Asn(hijacker.0))));
+
+        let valleys =
+            invoke(&rt, "bgp.valley_violations", vec![("updates", updates)]).unwrap();
+        let violations: Vec<bgp_sim::ValleyViolation> = valleys.parse().unwrap();
+        assert!(violations.is_empty(), "a pure hijack violates no export rule");
+
+        let report = invoke(
+            &rt,
+            "util.attribute_control_plane",
+            vec![("moas", moas), ("valleys", valleys)],
+        )
+        .unwrap();
+        let r: ControlPlaneReportData = report.parse().unwrap();
+        assert_eq!(r.kind, "prefix-hijack");
+        assert_eq!(r.offender, Some(hijacker.0), "the hijacker is identified");
+        assert!(r.confidence > 0.5);
+        assert!(r.victim_prefixes.contains(&victim_prefix.to_string()));
+
+        let table =
+            invoke(&rt, "xaminer.control_plane_impact", vec![("report", report)]).unwrap();
+        let t: CountryTableData = table.parse().unwrap();
+        assert!(!t.rows.is_empty(), "the capture cone touches some countries");
+        assert!(t.rows.iter().all(|row| row.links_affected == 0), "nothing physically fails");
     }
 
     #[test]

@@ -75,6 +75,56 @@ pub fn cs4_negative_scenario() -> Scenario {
     s
 }
 
+/// The query the hijack-forensics case study serves.
+pub const CS5_QUERY: &str =
+    "Multiple origin ASes were observed announcing the same prefixes starting two days \
+     ago. Determine whether a prefix hijack or a route leak caused this, and identify \
+     the offending AS.";
+
+/// CS5 — the control-plane forensic scenario: a transit AS starts
+/// originating an access network's prefix two days before "now" (the
+/// 2008 YouTube/Pakistan pattern, scaled down), so the update stream and
+/// RIB carry a live MOAS conflict for the forensics workflow to find.
+///
+/// Victim and hijacker are picked structurally — the same
+/// `AsTarget::TierRank` resolution the `targeted-prefix-hijack` scenario
+/// family uses — so the scenario stays stable under world regeneration.
+pub fn cs5_hijack_scenario() -> Scenario {
+    let world = standard_world();
+    let (hijacker, victim_prefix) = cs5_actors(&world);
+    let horizon_days = 10;
+    let at = SimTime::EPOCH + SimDuration::days(horizon_days - 2);
+    Scenario::quiet(world, horizon_days)
+        .with_event(EventKind::PrefixHijack { origin: hijacker, victim_prefix }, at)
+}
+
+/// The hijacker ASN and victim prefix of [`cs5_hijack_scenario`].
+pub fn cs5_actors(world: &world::World) -> (net_model::Asn, net_model::Ipv4Net) {
+    use scenario_forge::script::AsTarget;
+    let hijacker = AsTarget::TierRank {
+        region: net_model::Region::Europe,
+        tier: world::AsTier::Transit,
+        rank: 0,
+    }
+    .resolve(world)
+    .expect("the standard world has European transit ASes");
+    let victim = AsTarget::TierRank {
+        region: net_model::Region::Asia,
+        tier: world::AsTier::Access,
+        rank: 0,
+    }
+    .resolve(world)
+    .expect("the standard world has Asian access ASes");
+    let victim_prefix = world
+        .prefixes
+        .iter()
+        .filter(|p| p.origin == victim)
+        .map(|p| p.net)
+        .min()
+        .expect("access ASes announce prefixes");
+    (hijacker, victim_prefix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,8 +166,26 @@ mod tests {
         // Every case-study scenario draws the standard world from the
         // process-wide cache: same Arc, one generation.
         let quiet = cs1_scenario();
-        for s in [cs2_scenario(), cs3_scenario(), cs4_scenario(), cs4_negative_scenario()] {
+        for s in [
+            cs2_scenario(),
+            cs3_scenario(),
+            cs4_scenario(),
+            cs4_negative_scenario(),
+            cs5_hijack_scenario(),
+        ] {
             assert!(Arc::ptr_eq(&quiet.world, &s.world));
         }
+    }
+
+    #[test]
+    fn cs5_hijack_is_live_at_now_and_fails_nothing() {
+        let s = cs5_hijack_scenario();
+        let (hijacker, prefix) = cs5_actors(&s.world);
+        let legit = s.world.prefixes.iter().find(|p| p.net == prefix).unwrap();
+        assert_ne!(legit.origin, hijacker, "hijacker must not own the prefix");
+        let control = s.control_plane_at(s.now - SimDuration::hours(1));
+        assert_eq!(control.hijacks, vec![(prefix, hijacker)]);
+        assert!(s.links_down_at(s.now).is_empty(), "control plane fails no links");
+        assert_eq!(s.now.since(s.timeline()[0].0), SimDuration::days(2));
     }
 }

@@ -16,7 +16,7 @@
 //! asset fails under a given event is a pure function of
 //! `(world seed, event id, asset id, probability)` via [`stable_hash`].
 
-use net_model::{CableId, GeoPoint, Region, SimTime};
+use net_model::{Asn, CableId, GeoPoint, Ipv4Net, Region, SimTime};
 use net_model::geo::GeoCircle;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,15 @@ pub enum EventKind {
     /// Extra one-way latency on paths between two regions (congestion,
     /// DDoS scrubbing detour…). A confounder for forensic analysis.
     CongestionSurge { from: Region, to: Region, extra_ms: f64 },
+    /// A control-plane incident: `origin` illegitimately announces
+    /// `victim_prefix` (which another AS owns), creating a MOAS conflict.
+    /// Topology-neutral: no link fails, but BGP best paths move wherever
+    /// the bogus origin wins the route selection.
+    PrefixHijack { origin: Asn, victim_prefix: Ipv4Net },
+    /// A control-plane incident: `leaker` re-exports its best routes to
+    /// *every* neighbour, violating the valley-free export rule (the
+    /// classic accidental transit leak). Also topology-neutral.
+    RouteLeak { leaker: Asn },
 }
 
 impl EventKind {
@@ -57,7 +66,16 @@ impl EventKind {
             EventKind::Earthquake { .. } => "earthquake",
             EventKind::Hurricane { .. } => "hurricane",
             EventKind::CongestionSurge { .. } => "congestion-surge",
+            EventKind::PrefixHijack { .. } => "prefix-hijack",
+            EventKind::RouteLeak { .. } => "route-leak",
         }
+    }
+
+    /// Whether the event lives purely in the BGP control plane (no
+    /// physical asset fails; the AS-level topology is untouched while
+    /// routing policy — origination or export — changes).
+    pub fn is_control_plane(&self) -> bool {
+        matches!(self, EventKind::PrefixHijack { .. } | EventKind::RouteLeak { .. })
     }
 }
 

@@ -42,7 +42,7 @@ pub use generator::{generate, WorldConfig};
 pub use links::{Conduit, IpLink, LinkEnd, PrefixInfo};
 pub use physical::{PhysicalGraph, PhysicalPath};
 pub use probes::Probe;
-pub use scenario::Scenario;
+pub use scenario::{ControlPlaneState, Scenario};
 
 use std::collections::BTreeMap;
 

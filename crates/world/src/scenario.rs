@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use net_model::{CableId, LinkId, Region, SimDuration, SimTime, TimeWindow};
+use net_model::{Asn, CableId, Ipv4Net, LinkId, Region, SimDuration, SimTime, TimeWindow};
 use net_model::geo::GeoCircle;
 use serde::{Deserialize, Serialize};
 
@@ -113,7 +113,9 @@ impl Scenario {
                         *failure_prob,
                     ));
                 }
-                EventKind::CongestionSurge { .. } => {}
+                EventKind::CongestionSurge { .. }
+                | EventKind::PrefixHijack { .. }
+                | EventKind::RouteLeak { .. } => {}
             }
         }
         out
@@ -212,6 +214,35 @@ impl Scenario {
             .sum()
     }
 
+    /// The BGP control-plane state active at `t`: which prefixes are
+    /// being hijacked (and by whom) and which ASes are leaking routes.
+    /// Canonically ordered and deduplicated, so two instants with the
+    /// same active incidents compare equal — the BGP substrate memoizes
+    /// RIB captures on exactly this state (plus the topology).
+    pub fn control_plane_at(&self, t: SimTime) -> ControlPlaneState {
+        let mut hijacks = Vec::new();
+        let mut leakers = Vec::new();
+        for ev in self.events.iter().filter(|e| e.active_at(t)) {
+            match &ev.kind {
+                EventKind::PrefixHijack { origin, victim_prefix } => {
+                    hijacks.push((*victim_prefix, *origin));
+                }
+                EventKind::RouteLeak { leaker } => leakers.push(*leaker),
+                _ => {}
+            }
+        }
+        hijacks.sort();
+        hijacks.dedup();
+        leakers.sort();
+        leakers.dedup();
+        ControlPlaneState { hijacks, leakers }
+    }
+
+    /// Whether the scenario schedules any control-plane incident at all.
+    pub fn has_control_plane_events(&self) -> bool {
+        self.events.iter().any(|e| e.kind.is_control_plane())
+    }
+
     /// All event (time, id) pairs inside the horizon, ordered by time.
     pub fn timeline(&self) -> Vec<(SimTime, EventId)> {
         let mut v: Vec<(SimTime, EventId)> = self
@@ -222,6 +253,30 @@ impl Scenario {
             .collect();
         v.sort();
         v
+    }
+}
+
+/// The BGP control-plane overlay at one instant: active prefix hijacks
+/// (as `(victim prefix, bogus origin)` pairs) and active route leakers,
+/// both canonically sorted. Quiet state compares equal to
+/// [`ControlPlaneState::default`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlPlaneState {
+    /// `(victim prefix, hijacking origin)` pairs, ascending.
+    pub hijacks: Vec<(Ipv4Net, Asn)>,
+    /// ASes re-exporting every learned route, ascending.
+    pub leakers: Vec<Asn>,
+}
+
+impl ControlPlaneState {
+    /// Whether no control-plane incident is active.
+    pub fn is_quiet(&self) -> bool {
+        self.hijacks.is_empty() && self.leakers.is_empty()
+    }
+
+    /// The hijacking origins for `prefix`, ascending (usually 0 or 1).
+    pub fn hijackers_of(&self, prefix: Ipv4Net) -> impl Iterator<Item = Asn> + '_ {
+        self.hijacks.iter().filter(move |(p, _)| *p == prefix).map(|(_, a)| *a)
     }
 }
 
@@ -306,6 +361,46 @@ mod tests {
             s.congestion_extra_ms(at + SimDuration::days(2), Region::Europe, Region::Asia),
             0.0
         );
+    }
+
+    #[test]
+    fn control_plane_events_touch_no_links() {
+        let world = small_world();
+        let victim = world.prefixes[0];
+        let hijacker = world
+            .ases
+            .iter()
+            .map(|a| a.asn)
+            .find(|a| *a != victim.origin)
+            .expect("more than one AS");
+        let at = SimTime::EPOCH + SimDuration::days(3);
+        let mut s = Scenario::quiet(world, 10)
+            .with_event(
+                EventKind::PrefixHijack { origin: hijacker, victim_prefix: victim.net },
+                at,
+            );
+        s.push_event(
+            EventKind::RouteLeak { leaker: hijacker },
+            at + SimDuration::days(1),
+            Some(at + SimDuration::days(2)),
+        );
+
+        assert!(s.has_control_plane_events());
+        assert!(s.links_down_at(s.now).is_empty(), "control plane fails no links");
+        assert!(s.failed_segments_at(s.now).is_empty());
+
+        // Before either incident: quiet control plane.
+        assert!(s.control_plane_at(at - SimDuration::hours(1)).is_quiet());
+        // Hijack only.
+        let early = s.control_plane_at(at);
+        assert_eq!(early.hijacks, vec![(victim.net, hijacker)]);
+        assert!(early.leakers.is_empty());
+        assert_eq!(early.hijackers_of(victim.net).collect::<Vec<_>>(), vec![hijacker]);
+        // Hijack + leak while the leak window is open.
+        let mid = s.control_plane_at(at + SimDuration::days(1));
+        assert_eq!(mid.leakers, vec![hijacker]);
+        // Leak window closed again: same state as the hijack-only instant.
+        assert_eq!(s.control_plane_at(s.now - SimDuration::hours(1)), early);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Control-plane incident impact: who is misdirected by a prefix hijack,
+//! whose best paths a route leak drags through the leaker.
+//!
+//! Physical failure events break links and the [`crate::event`] path
+//! counts what fell over. Control-plane incidents break *routing policy*
+//! while every link stays up, so their impact is computed on the BGP
+//! substrate instead: a full valley-free route computation (with the
+//! incident's [`bgp_sim::PolicyOverrides`] applied where relevant) over
+//! the world's quiet topology, diffed against the clean baseline.
+
+use net_model::{Asn, Country, Ipv4Net};
+use serde::{Deserialize, Serialize};
+use world::World;
+
+use bgp_sim::{AsGraph, PolicyOverrides, RoutingTable};
+
+/// A control-plane incident to assess (hypothetical or observed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlPlaneIncident {
+    /// `origin` announces `victim_prefix` it does not own.
+    PrefixHijack { origin: Asn, victim_prefix: Ipv4Net },
+    /// `leaker` re-exports its best routes to every neighbour.
+    RouteLeak { leaker: Asn },
+}
+
+impl ControlPlaneIncident {
+    /// Short classifier used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControlPlaneIncident::PrefixHijack { .. } => "prefix-hijack",
+            ControlPlaneIncident::RouteLeak { .. } => "route-leak",
+        }
+    }
+
+    /// The AS responsible for the incident.
+    pub fn offender(&self) -> Asn {
+        match self {
+            ControlPlaneIncident::PrefixHijack { origin, .. } => *origin,
+            ControlPlaneIncident::RouteLeak { leaker } => *leaker,
+        }
+    }
+}
+
+/// The assessed impact of one control-plane incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneImpact {
+    /// `"prefix-hijack"` / `"route-leak"`.
+    pub kind: String,
+    pub offender: Asn,
+    /// Hijack: ASes whose best route for the victim prefix lands at the
+    /// bogus origin (the hijack's capture cone). Leak: ASes whose best
+    /// route to at least one destination changed. Ascending.
+    pub affected_ases: Vec<Asn>,
+    /// Registration countries of the affected ASes, ascending.
+    pub affected_countries: Vec<Country>,
+    /// `affected_ases` over the world's AS count, `[0, 1]`.
+    pub affected_fraction: f64,
+}
+
+/// The quiet-topology AS graph (every IP link up) — the reference
+/// topology control-plane incidents are assessed against.
+pub fn quiet_graph(world: &World) -> AsGraph {
+    AsGraph::from_relationships(
+        world.ases.iter().map(|a| a.asn).collect(),
+        world.relationships.iter().map(|r| (r.a, r.b, r.kind)),
+    )
+}
+
+/// Assesses one incident against the world's quiet topology.
+pub fn assess(world: &World, incident: &ControlPlaneIncident) -> ControlPlaneImpact {
+    assess_many(world, std::slice::from_ref(incident)).pop().expect("one incident in")
+}
+
+/// Assesses several incidents, building the quiet graph and the baseline
+/// routing table — the dominant cost — once instead of per incident
+/// (a hijack report can name several victim prefixes).
+pub fn assess_many(world: &World, incidents: &[ControlPlaneIncident]) -> Vec<ControlPlaneImpact> {
+    let graph = quiet_graph(world);
+    let base = RoutingTable::compute(&graph, world);
+    incidents.iter().map(|i| assess_with(world, &graph, &base, i)).collect()
+}
+
+/// One incident against a pre-built graph and baseline table.
+fn assess_with(
+    world: &World,
+    graph: &AsGraph,
+    base: &RoutingTable,
+    incident: &ControlPlaneIncident,
+) -> ControlPlaneImpact {
+    let affected_ases: Vec<Asn> = match incident {
+        ControlPlaneIncident::PrefixHijack { origin, victim_prefix } => {
+            // The capture cone: vantage points whose route selection
+            // prefers the bogus origin, arbitrated exactly as the RIB
+            // capture arbitrates MOAS candidates.
+            let legit = world.prefixes.iter().find(|p| p.net == *victim_prefix).map(|p| p.origin);
+            match legit {
+                None => Vec::new(), // unknown prefix: nothing to capture
+                Some(legit) if legit == *origin => Vec::new(),
+                Some(legit) => world
+                    .ases
+                    .iter()
+                    .map(|a| a.asn)
+                    .filter(|&u| {
+                        let bogus = base.selection(u, *origin).map(|k| (k, *origin));
+                        let real = base.selection(u, legit).map(|k| (k, legit));
+                        match (bogus, real) {
+                            (Some(b), Some(r)) => b < r,
+                            (Some(_), None) => true,
+                            _ => false,
+                        }
+                    })
+                    .collect(),
+            }
+        }
+        ControlPlaneIncident::RouteLeak { leaker } => {
+            let leaked = RoutingTable::compute_with(
+                graph,
+                world,
+                bgp_sim::routing::default_threads(),
+                &PolicyOverrides::leaking([*leaker]),
+            );
+            world
+                .ases
+                .iter()
+                .map(|a| a.asn)
+                .filter(|&src| {
+                    world.ases.iter().any(|d| {
+                        base.selection(src, d.asn) != leaked.selection(src, d.asn)
+                    })
+                })
+                .collect()
+        }
+    };
+
+    let mut affected_countries: Vec<Country> = affected_ases
+        .iter()
+        .filter_map(|&a| world.as_info(a).map(|i| i.country))
+        .collect();
+    affected_countries.sort();
+    affected_countries.dedup();
+
+    let affected_fraction = if world.ases.is_empty() {
+        0.0
+    } else {
+        affected_ases.len() as f64 / world.ases.len() as f64
+    };
+
+    ControlPlaneImpact {
+        kind: incident.label().to_string(),
+        offender: incident.offender(),
+        affected_ases,
+        affected_countries,
+        affected_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use world::{generate, WorldConfig};
+
+    fn fixture() -> World {
+        generate(&WorldConfig::default())
+    }
+
+    #[test]
+    fn hijack_capture_cone_is_nonempty_and_excludes_victimless_cases() {
+        let world = fixture();
+        let victim = world.prefixes[0];
+        let hijacker =
+            world.ases.iter().map(|a| a.asn).find(|&a| a != victim.origin).unwrap();
+        let impact = assess(
+            &world,
+            &ControlPlaneIncident::PrefixHijack {
+                origin: hijacker,
+                victim_prefix: victim.net,
+            },
+        );
+        assert_eq!(impact.kind, "prefix-hijack");
+        assert_eq!(impact.offender, hijacker);
+        assert!(!impact.affected_ases.is_empty(), "the hijacker captures at least itself");
+        assert!(impact.affected_ases.contains(&hijacker));
+        assert!(!impact.affected_ases.contains(&victim.origin));
+        assert!((0.0..=1.0).contains(&impact.affected_fraction));
+        assert!(!impact.affected_countries.is_empty());
+
+        // Hijacking an unknown prefix captures nothing.
+        let nothing = assess(
+            &world,
+            &ControlPlaneIncident::PrefixHijack {
+                origin: hijacker,
+                victim_prefix: net_model::Ipv4Net::parse("203.0.113.0/24").unwrap(),
+            },
+        );
+        assert!(nothing.affected_ases.is_empty());
+    }
+
+    #[test]
+    fn leak_impact_matches_routing_diff() {
+        let world = fixture();
+        let graph = quiet_graph(&world);
+        let leaker = world
+            .ases
+            .iter()
+            .map(|a| a.asn)
+            .find(|&a| graph.providers(a).len() >= 2)
+            .expect("multi-homed AS");
+        let impact = assess(&world, &ControlPlaneIncident::RouteLeak { leaker });
+        assert_eq!(impact.kind, "route-leak");
+        assert!(!impact.affected_ases.is_empty(), "a multi-homed leak moves paths");
+        assert!(impact.affected_fraction > 0.0);
+    }
+}

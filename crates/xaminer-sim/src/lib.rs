@@ -20,11 +20,13 @@
 //!   (HHI), critical-cable rankings and resilience scores.
 
 pub mod cascade;
+pub mod control_plane;
 pub mod event;
 pub mod impact;
 pub mod risk;
 
 pub use cascade::{CascadeConfig, CascadeRound, CascadeTimeline};
+pub use control_plane::{ControlPlaneImpact, ControlPlaneIncident};
 pub use event::{process_event, FailureEvent, FailureImpact};
 pub use impact::{AsImpact, CountryImpact, ImpactReport};
 pub use risk::{country_risk_profile, CountryRiskProfile};

@@ -1,0 +1,106 @@
+//! PR-5 acceptance: control-plane incidents end to end.
+//!
+//! A hijack scenario registered through `Engine::register_family` must
+//! produce MOAS-conflict detections in a *session-served* forensics
+//! query, with the execution bit-identical across 1/2/8 executor
+//! workers (the routing sweep itself is pinned worker-invariant by
+//! `crates/bgp-sim/tests/dense_equivalence.rs`).
+
+use std::sync::Arc;
+
+use arachnet::{DeterministicExpertModel, Engine, FamilyScenario, SessionRun};
+use llm::protocol::QueryContext;
+use toolkit::catalog;
+use toolkit::data::{ControlPlaneReportData, CountryTableData};
+
+const FORENSICS_QUERY: &str =
+    "Multiple origin ASes were observed announcing the same prefixes starting two days \
+     ago. Determine whether a prefix hijack or a route leak caused this, and identify \
+     the offending AS.";
+
+fn hijack_engine(workers: usize) -> (Engine, Vec<FamilyScenario>) {
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    )
+    .with_exec_workers(workers);
+    let fleet = engine.register_family(
+        arachnet::Family::TargetedPrefixHijack,
+        &arachnet::FamilyParams::default(),
+    );
+    (engine, fleet)
+}
+
+fn serve(workers: usize) -> (String, SessionRun) {
+    let (engine, fleet) = hijack_engine(workers);
+    let key = fleet[0].key.clone();
+    let session = engine.session(&key).expect("fleet registered");
+    let scenario = session.scenario();
+    let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+    let context: QueryContext =
+        catalog::query_context(&scenario.world, scenario.now, horizon_days);
+    let run = session.run(FORENSICS_QUERY, &context).expect("forensics query serves");
+    (key, run)
+}
+
+#[test]
+fn family_registered_hijack_serves_a_forensics_query_with_moas_detections() {
+    let (key, run) = serve(workflow::exec::default_workers());
+    assert!(key.starts_with("targeted-prefix-hijack/"), "family key: {key}");
+    assert!(run.report.all_ok(), "qa: {:?}", run.report.qa);
+
+    // The generated workflow runs the control-plane detectors.
+    let functions: Vec<&str> =
+        run.solution.workflow.steps.iter().map(|s| s.function.0.as_str()).collect();
+    assert!(functions.contains(&"bgp.detect_moas"), "workflow: {functions:?}");
+    assert!(functions.contains(&"bgp.valley_violations"), "workflow: {functions:?}");
+    assert!(functions.contains(&"util.attribute_control_plane"), "workflow: {functions:?}");
+
+    // The MOAS detector found the hijack and the attribution names an
+    // offender with a real capture cone.
+    let moas = run
+        .report
+        .results
+        .iter()
+        .find(|(id, _)| id.0.contains("detect_moas"))
+        .and_then(|(_, r)| r.value())
+        .expect("moas step executed");
+    let conflicts: Vec<bgp_sim::MoasConflict> = moas.parse().expect("conflicts parse");
+    assert!(!conflicts.is_empty(), "the hijack must surface as MOAS conflicts");
+
+    let report = run
+        .report
+        .results
+        .iter()
+        .find(|(id, _)| id.0.contains("attribute_control_plane"))
+        .and_then(|(_, r)| r.value())
+        .expect("attribution step executed");
+    let attribution: ControlPlaneReportData = report.parse().expect("report parses");
+    assert_eq!(attribution.kind, "prefix-hijack");
+    assert!(attribution.offender.is_some(), "an offender is identified");
+    assert!(attribution.confidence > 0.5);
+
+    // The declared output is the misdirection impact table.
+    let table: CountryTableData = run
+        .report
+        .outputs
+        .values()
+        .next()
+        .expect("one declared output")
+        .parse()
+        .expect("impact table parses");
+    assert!(!table.rows.is_empty(), "the capture cone touches some countries");
+}
+
+#[test]
+fn forensics_serving_is_bit_identical_across_worker_counts() {
+    let (_, base) = serve(1);
+    for workers in [2usize, 8] {
+        let (_, run) = serve(workers);
+        assert_eq!(
+            run.solution.source_code, base.solution.source_code,
+            "{workers} workers: generated solution diverged"
+        );
+        assert_eq!(run.report, base.report, "{workers} workers: execution diverged");
+    }
+}
