@@ -1,7 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr5.json` at the repo root (and
-//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`,
-//! `BENCH_pr3.json` and `BENCH_pr4.json`).
+//! serving hot paths, written as `BENCH_pr6.json` at the repo root (and
+//! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
+//! through `BENCH_pr5.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -10,17 +10,19 @@
 //!
 //! Unlike the criterion benches (statistical, interactive), this is the
 //! cheap comparable record each PR leaves behind: one JSON file with a
-//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr5`
-//! repeats every earlier row and adds the control-plane rows:
+//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr6`
+//! repeats every earlier row:
 //!
 //! * `workflow/exec_dag` — the parallel DAG executor on a fan-out
 //!   workload, max workers vs 1 worker (measured in-tree, like the
 //!   routing row measures the retained seed engine);
-//! * `engine/concurrent_sessions` — N cold-cache queries served
-//!   end-to-end (generate + execute) through engine sessions, max
-//!   session threads vs 1 (since PR 5 the "cold" baseline also shares
-//!   the world-keyed mapping artifact — the pre-fix behaviour no longer
-//!   exists in-tree, and the row records the remaining serving win);
+//! * `engine/concurrent_sessions` — N identical queries served end-to-end
+//!   (generate + execute) through engine sessions over one shared
+//!   scenario, max session threads vs 1 (rebaselined in PR 6: PR 5's
+//!   world-keyed artifact stores erased the old cold-store-per-query
+//!   baseline — both arms now share the mapping run, so that contrast
+//!   reads ~1.0 everywhere — and the contrast that remains in-tree is
+//!   thread scaling);
 //! * `world/generate_cold` / `world/generate_cached` — one full world
 //!   generation vs a content-addressed cache hit on the same config;
 //! * `forge/register_family_fleet` — registering every scenario family's
@@ -35,6 +37,7 @@
 //!   store vs recomputing the mapping run per scenario (the pre-PR-5
 //!   behaviour).
 
+// conformance: allow(no-wall-clock, reason = "the bench report exists to measure wall time")
 use std::time::Instant;
 
 use serde_json::{json, Value};
@@ -47,12 +50,13 @@ fn median_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
     std::hint::black_box(f());
     let mut samples: Vec<f64> = (0..iters)
         .map(|_| {
+            // conformance: allow(no-wall-clock, reason = "median_ms samples the clock being benchmarked")
             let t0 = Instant::now();
             std::hint::black_box(f());
             t0.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
 }
 
@@ -64,7 +68,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -179,19 +183,18 @@ fn main() {
         "speedup": dag_seq / dag_par,
     }));
 
-    // --- PR 3: concurrent serving sessions, end to end -------------------
-    // N identical queries (generate + execute) through engine sessions.
-    // The baseline is the pre-engine batch-of-one behaviour: one session
-    // thread, a cold private artifact store per query (every
-    // `StandardRuntime::new` used to recompute the mapping run). The
-    // measured row serves the same load through max-worker sessions over
-    // the scenario's shared store. `single_thread_median_ms` isolates the
-    // store-sharing win from thread scaling.
+    // --- PR 3 (rebaselined in PR 6): concurrent serving sessions ---------
+    // N identical queries (generate + execute) through engine sessions
+    // over one shared scenario. The old baseline — a cold private
+    // artifact store per query — stopped existing in PR 5: world-keyed
+    // stores share the mapping run across *any* registrations of the
+    // same world, so batch-of-one vs shared read ~1.0 on every machine.
+    // The contrast that remains in-tree is thread scaling: the same
+    // shared-store load at 1 session thread vs max-worker sessions.
+    // Like `workflow/exec_dag`, a single-CPU box honestly reads ~1.0 and
+    // CI's multi-core run shows the real scaling.
     let serve_queries = 8usize;
     let serve_query = "Identify the impact at a country level due to SeaMeWe-5 cable failure";
-    let serve_batch_of_one = median_ms(3, || {
-        benchkit::serve_sessions(&scenario, serve_query, serve_queries, false, 1)
-    });
     let serve_shared_seq = median_ms(3, || {
         benchkit::serve_sessions(&scenario, serve_query, serve_queries, true, 1)
     });
@@ -201,13 +204,11 @@ fn main() {
     benchmarks.push(json!({
         "id": "engine/concurrent_sessions",
         "median_ms": serve_shared_par,
-        "baseline": "batch-of-one serving: cold artifact store per query, single session thread",
-        "baseline_median_ms": serve_batch_of_one,
-        "single_thread_median_ms": serve_shared_seq,
+        "baseline": "same shared-store load at 1 session thread",
+        "baseline_median_ms": serve_shared_seq,
         "queries": serve_queries,
         "session_threads": max_workers,
-        "speedup": serve_batch_of_one / serve_shared_par,
-        "thread_scaling": serve_shared_seq / serve_shared_par,
+        "speedup": serve_shared_seq / serve_shared_par,
     }));
 
     // --- PR 4: content-addressed world cache -----------------------------
@@ -335,7 +336,7 @@ fn main() {
     }));
 
     let report = json!({
-        "pr": 5,
+        "pr": 6,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

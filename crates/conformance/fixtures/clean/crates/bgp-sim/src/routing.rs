@@ -1,0 +1,18 @@
+//! Clean fixture: dense and reference engines reference the same
+//! policy surface.
+
+pub struct PolicyOverrides {
+    pub leakers: Vec<u32>,
+}
+
+pub fn compute(overrides: &PolicyOverrides) -> usize {
+    overrides.leakers.len()
+}
+
+pub mod reference {
+    use super::PolicyOverrides;
+
+    pub fn compute(overrides: &PolicyOverrides) -> usize {
+        overrides.leakers.iter().count()
+    }
+}

@@ -1,0 +1,17 @@
+//! Clean fixture: time is an explicit input, never sampled.
+
+pub struct SimTime(pub i64);
+
+pub fn stamp(now: SimTime) -> i64 {
+    now.0
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock reads in test code (timeouts, perf guards) are exempt.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

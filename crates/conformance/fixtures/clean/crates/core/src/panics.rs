@@ -1,0 +1,7 @@
+//! Clean fixture: errors propagate; the lone invariant expect is within
+//! budget.
+
+pub fn robust(input: &str) -> Result<u64, String> {
+    let first = input.split(',').next().expect("split yields at least one item");
+    first.parse().map_err(|e| format!("{first}: {e:?}"))
+}

@@ -1,0 +1,16 @@
+//! Clean fixture: ordered containers, deterministic iteration.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(items: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    for (k, v) in items {
+        *counts.entry(k.clone()).or_default() += v;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn dedup(keys: &[u64]) -> usize {
+    let set: BTreeSet<u64> = keys.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: all randomness flows from an explicit seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+//! Pragma fixture: an acknowledged violation with a reasoned allow.
+
+// conformance: allow(no-unordered-iteration, reason = "built then drained in one expression; never iterated")
+use std::collections::HashMap;
+
+pub fn single_use(pairs: Vec<(u64, u64)>) -> usize {
+    // conformance: allow(no-unordered-iteration, reason = "len() only; order never observed")
+    let m: HashMap<u64, u64> = pairs.into_iter().collect();
+    m.len()
+}

@@ -1,0 +1,10 @@
+//! Pragma fixture: a suppression that fails to parse must not
+//! suppress anything — it is itself a finding.
+
+// conformance: allow(no-unordered-iteration)
+use std::collections::HashMap;
+
+pub fn leaky(pairs: Vec<(u64, u64)>) -> usize {
+    let m: HashMap<u64, u64> = pairs.into_iter().collect();
+    m.len()
+}

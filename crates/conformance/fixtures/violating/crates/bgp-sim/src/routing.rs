@@ -1,0 +1,36 @@
+//! Violating fixture: the dense engine grew a policy knob and an event
+//! kind that `routing::reference` never learned about.
+
+pub struct PolicyOverrides {
+    pub leakers: Vec<u32>,
+    /// Added to the dense engine only — the drift this rule exists for.
+    pub drop_prefixes: bool,
+}
+
+pub fn compute(overrides: &PolicyOverrides) -> usize {
+    let mut n = overrides.leakers.len();
+    if overrides.drop_prefixes {
+        n += 1;
+    }
+    // Dense engine consumes hijack events; reference ignores them.
+    if hijack_active(EventKind::PrefixHijack { origin: 1, victim_prefix: 2 }) {
+        n += 1;
+    }
+    n
+}
+
+pub enum EventKind {
+    PrefixHijack { origin: u32, victim_prefix: u64 },
+}
+
+fn hijack_active(_e: EventKind) -> bool {
+    false
+}
+
+pub mod reference {
+    use super::PolicyOverrides;
+
+    pub fn compute(overrides: &PolicyOverrides) -> usize {
+        overrides.leakers.len()
+    }
+}

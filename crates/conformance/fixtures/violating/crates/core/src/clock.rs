@@ -1,0 +1,10 @@
+//! Violating fixture: wall-clock reads in serving code.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t.elapsed();
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

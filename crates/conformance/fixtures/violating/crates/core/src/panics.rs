@@ -1,0 +1,15 @@
+//! Violating fixture: panic sites well past the serving-path budget.
+
+pub fn brittle(input: &str) -> u64 {
+    let first = input.split(',').next().unwrap();
+    let parsed: u64 = first.parse().expect("numeric");
+    if parsed == 0 {
+        panic!("zero is not a valid id");
+    }
+    let doubled = parsed.checked_mul(2).unwrap();
+    let tripled = parsed.checked_mul(3).unwrap();
+    match doubled.checked_add(tripled) {
+        Some(v) => v,
+        None => unreachable!("bounded above"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Violating fixture: detached threads and completion-order
+//! accumulation inside a scoped sweep.
+
+use std::sync::Mutex;
+
+pub fn detached(work: Vec<u64>) {
+    std::thread::spawn(move || {
+        let _ = work.len();
+    });
+}
+
+pub fn sweep(shards: &[Vec<u64>]) -> Vec<u64> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for shard in shards {
+            scope.spawn(|| {
+                let sum: u64 = shard.iter().sum();
+                // Completion order, not shard order:
+                results.lock().unwrap().push(sum);
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture EventKind declaration for the paired-engines rule.
+
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    CableFailure { cable: u32 },
+    PrefixHijack { origin: u32, victim_prefix: u64 },
+    RouteLeak { leaker: u32 },
+}

@@ -1,0 +1,30 @@
+//! Violating fixture: unordered containers in a deterministic crate.
+
+use std::collections::HashMap;
+
+pub fn tally(items: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut counts: HashMap<String, u32> = Default::default();
+    for (k, v) in items {
+        *counts.entry(k.clone()).or_default() += v;
+    }
+    // Iteration order here is nondeterministic.
+    counts.into_iter().collect()
+}
+
+pub fn dedup(keys: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // HashMap in test code is fine — determinism rules cover shipped
+    // code paths only.
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_only_maps_are_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Violating fixture: entropy-seeded randomness in the generator.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _ = rng.next_u64();
+    rand::random()
+}

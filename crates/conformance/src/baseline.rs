@@ -1,0 +1,202 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! A baseline entry matches findings by `(rule, file, snippet)` — the
+//! trimmed source line, not the line number — so unrelated edits don't
+//! invalidate it, but *any* change to the offending line re-surfaces
+//! the finding. Entries are shrink-only: when fewer findings match than
+//! an entry's count, the entry has **expired** and the scan demands it
+//! be removed (`--update-baseline` rewrites the file). Grandfathering
+//! new findings requires a deliberate baseline edit in the same PR.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::{json, Value};
+
+use crate::rules::Finding;
+
+/// One grandfathered finding class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub snippet: String,
+    /// How many identical findings this entry covers.
+    pub count: usize,
+}
+
+/// The committed set of grandfathered findings.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of reconciling a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by any entry — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings covered by an entry — reported, but passing.
+    pub baselined: Vec<Finding>,
+    /// Entries covering more findings than still exist — expired; the
+    /// baseline must shrink.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Baseline::from_json(&text)
+    }
+
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+        let Some(entries) = value.get("entries").and_then(Value::as_array) else {
+            return Err("baseline must be an object with an `entries` array".to_string());
+        };
+        let mut out = Vec::new();
+        for e in entries {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry is missing `{k}`: {e:?}"))
+            };
+            out.push(BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                snippet: field("snippet")?,
+                count: e.get("count").and_then(Value::as_u64).unwrap_or(1) as usize,
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                json!({
+                    "rule": e.rule,
+                    "file": e.file,
+                    "snippet": e.snippet,
+                    "count": e.count,
+                })
+            })
+            .collect();
+        let doc = json!({
+            "comment": "Grandfathered conformance findings. Shrink-only: remove \
+                        entries as findings are burned down; adding one requires \
+                        justification in the PR.",
+            "entries": entries,
+        });
+        let mut text = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+        text.push('\n');
+        text
+    }
+
+    /// A baseline that grandfathers exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.key()).or_default() += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file, snippet), count)| BaselineEntry {
+                    rule,
+                    file,
+                    snippet,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconciles findings against the baseline.
+    pub fn apply(&self, findings: Vec<Finding>) -> BaselineOutcome {
+        let mut remaining: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *remaining
+                .entry((e.rule.clone(), e.file.clone(), e.snippet.clone()))
+                .or_default() += e.count;
+        }
+        let mut outcome = BaselineOutcome::default();
+        for f in findings {
+            match remaining.get_mut(&f.key()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    outcome.baselined.push(f);
+                }
+                _ => outcome.new.push(f),
+            }
+        }
+        for e in &self.entries {
+            let key = (e.rule.clone(), e.file.clone(), e.snippet.clone());
+            if let Some(n) = remaining.get_mut(&key) {
+                if *n > 0 {
+                    let mut stale = e.clone();
+                    stale.count = *n;
+                    outcome.stale.push(stale);
+                    *n = 0; // attribute leftovers to one entry per key
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 3,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_json() {
+        let b = Baseline::from_findings(&[
+            finding("no-wall-clock", "src/a.rs", "Instant::now();"),
+            finding("no-wall-clock", "src/a.rs", "Instant::now();"),
+        ]);
+        let parsed = Baseline::from_json(&b.to_json()).expect("parses");
+        assert_eq!(parsed.entries, b.entries);
+        assert_eq!(parsed.entries[0].count, 2);
+    }
+
+    #[test]
+    fn covers_matches_and_flags_new() {
+        let b = Baseline::from_findings(&[finding("r", "f", "s")]);
+        let out = b.apply(vec![
+            Finding { rule: "r", ..finding("r", "f", "s") },
+            finding("r", "f", "other"),
+        ]);
+        assert_eq!(out.baselined.len(), 1);
+        assert_eq!(out.new.len(), 1);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn expired_entries_are_stale() {
+        let b = Baseline::from_findings(&[
+            finding("r", "f", "s"),
+            finding("r", "f", "s"),
+        ]);
+        let out = b.apply(vec![finding("r", "f", "s")]);
+        assert_eq!(out.baselined.len(), 1);
+        assert!(out.new.is_empty());
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].count, 1, "one covered finding no longer exists");
+    }
+}

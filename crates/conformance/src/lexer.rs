@@ -1,0 +1,378 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The lexer's contract is *round-tripping*: concatenating the text of
+//! every token reproduces the input byte for byte (pinned by a proptest
+//! over all workspace sources). Token boundaries do not have to match
+//! rustc exactly — what matters for the rules is that comments, string
+//! literals and identifiers are classified correctly, so an occurrence
+//! of `HashMap` inside a doc comment or a `"HashMap"` string never
+//! counts as code.
+
+/// The classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// A `// ...` comment, up to but not including the newline.
+    LineComment,
+    /// A `/* ... */` comment, nesting respected.
+    BlockComment,
+    /// An identifier or keyword (including raw `r#ident`s).
+    Ident,
+    /// A lifetime such as `'static` (no closing quote).
+    Lifetime,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    CharLit,
+    /// A string literal: `"..."`, `r#"..."#`, `b"..."`.
+    StrLit,
+    /// A numeric literal (loose: suffixes and exponents are consumed).
+    NumLit,
+    /// Any single punctuation character (or unknown byte).
+    Punct,
+}
+
+/// One token: a classification plus its byte span and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream that round-trips exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src, pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            out.push(Token { kind, start, end: self.pos, line });
+        }
+        out
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek().expect("next_kind called at end of input");
+        if c.is_whitespace() {
+            self.eat_while(|c| c.is_whitespace());
+            return TokenKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => {
+                    self.eat_while(|c| c != '\n');
+                    return TokenKind::LineComment;
+                }
+                Some('*') => return self.block_comment(),
+                _ => {}
+            }
+        }
+        // String-ish prefixes: r"", r#""#, b"", b'', br"", br#""#.
+        if c == 'r' || c == 'b' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return kind;
+            }
+        }
+        if c == '"' {
+            return self.string(0);
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if c == '_' || c.is_alphabetic() {
+            self.eat_while(|c| c == '_' || c.is_alphanumeric());
+            return TokenKind::Ident;
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Handles `r`/`b`-prefixed literals; returns `None` when the prefix
+    /// is actually the start of a plain identifier (`raw`, `bytes`, or a
+    /// raw ident `r#foo`).
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let c = self.peek().expect("caller checked");
+        match (c, self.peek_at(1)) {
+            ('r', Some('"')) => {
+                self.bump();
+                Some(self.raw_string())
+            }
+            ('r', Some('#')) => {
+                // `r#"` is a raw string; `r#ident` is a raw identifier.
+                let mut n = 1;
+                while self.peek_at(n) == Some('#') {
+                    n += 1;
+                }
+                if self.peek_at(n) == Some('"') {
+                    self.bump();
+                    Some(self.raw_string())
+                } else {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.eat_while(|c| c == '_' || c.is_alphanumeric());
+                    Some(TokenKind::Ident)
+                }
+            }
+            ('b', Some('"')) => {
+                self.bump();
+                Some(self.string(0))
+            }
+            ('b', Some('\'')) => {
+                self.bump();
+                Some(self.char_literal())
+            }
+            ('b', Some('r')) if matches!(self.peek_at(2), Some('"') | Some('#')) => {
+                self.bump();
+                self.bump();
+                Some(self.raw_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// Lexes `"..."` with escape handling; `self.pos` is at the quote.
+    fn string(&mut self, _hashes: usize) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// Lexes a raw string; `self.pos` is at the `#`s or the quote.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                None => break, // unterminated
+                Some(_) => {}
+            }
+        }
+        TokenKind::StrLit
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a char literal
+    /// closes after one (possibly escaped) character.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match (self.peek_at(1), self.peek_at(2)) {
+            (Some('\\'), _) => self.char_literal(),
+            (Some(c1), Some('\'')) if c1 != '\'' => self.char_literal(),
+            (Some(c1), _) if c1 == '_' || c1.is_alphabetic() => {
+                self.bump(); // '
+                self.eat_while(|c| c == '_' || c.is_alphanumeric());
+                TokenKind::Lifetime
+            }
+            _ => self.char_literal(),
+        }
+    }
+
+    /// Lexes `'x'`, `'\n'`, `'\u{1F600}'`; `self.pos` is at the quote.
+    fn char_literal(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.bump() {
+            Some('\\') => {
+                // Consume the escape head, then scan to the closing quote
+                // (covers \u{...} of any length).
+                self.bump();
+                while !matches!(self.peek(), Some('\'') | None) {
+                    self.bump();
+                }
+                self.bump();
+            }
+            Some('\'') | None => {} // empty / malformed: stop here
+            Some(_) => {
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::CharLit
+    }
+
+    /// Lexes a numeric literal, loosely: digits, radix prefixes, type
+    /// suffixes, `1.5`, `1e-5`. `1..2` stays two tokens (the `.` is only
+    /// consumed when a digit follows).
+    fn number(&mut self) -> TokenKind {
+        let hex = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x') | Some('X') | Some('b') | Some('o'));
+        let mut last = '\0';
+        loop {
+            match self.peek() {
+                Some(c) if c == '_' || c.is_ascii_alphanumeric() => {
+                    last = c;
+                    self.bump();
+                }
+                Some('.') if matches!(self.peek_at(1), Some(d) if d.is_ascii_digit()) => {
+                    last = '.';
+                    self.bump();
+                }
+                Some(c @ ('+' | '-')) if !hex && matches!(last, 'e' | 'E') => {
+                    last = c;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        TokenKind::NumLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let tokens = lex(src);
+        let rebuilt: String = tokens.iter().map(|t| &src[t.start..t.end]).collect();
+        assert_eq!(rebuilt, src, "lexer must round-trip");
+        tokens
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn classifies_comments_and_strings() {
+        assert_eq!(kinds("// HashMap\n"), vec![TokenKind::LineComment]);
+        assert_eq!(kinds("/* a /* nested */ b */"), vec![TokenKind::BlockComment]);
+        assert_eq!(kinds(r#""HashMap::new()""#), vec![TokenKind::StrLit]);
+        assert_eq!(kinds(r##"r#"raw "quoted" body"#"##), vec![TokenKind::StrLit]);
+        assert_eq!(kinds("b\"bytes\""), vec![TokenKind::StrLit]);
+    }
+
+    #[test]
+    fn classifies_chars_and_lifetimes() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::CharLit]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::CharLit]);
+        assert_eq!(kinds(r"'\u{1F600}'"), vec![TokenKind::CharLit]);
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("&'a str"), vec![
+            TokenKind::Punct,
+            TokenKind::Lifetime,
+            TokenKind::Ident,
+        ]);
+        assert_eq!(kinds("b'x'"), vec![TokenKind::CharLit]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        assert_eq!(kinds("1..2"), vec![
+            TokenKind::NumLit,
+            TokenKind::Punct,
+            TokenKind::Punct,
+            TokenKind::NumLit,
+        ]);
+        assert_eq!(kinds("1.5e-3f64"), vec![TokenKind::NumLit]);
+        assert_eq!(kinds("0x1F_u32"), vec![TokenKind::NumLit]);
+    }
+
+    #[test]
+    fn raw_idents_are_idents() {
+        assert_eq!(kinds("r#type"), vec![TokenKind::Ident]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let tokens = roundtrip("a\nbb\n  c");
+        let line_of = |text: &str| {
+            tokens
+                .iter()
+                .find(|t| &"a\nbb\n  c"[t.start..t.end] == text)
+                .map(|t| t.line)
+        };
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("bb"), Some(2));
+        assert_eq!(line_of("c"), Some(3));
+    }
+}

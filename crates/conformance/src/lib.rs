@@ -1,0 +1,115 @@
+//! # conformance — workspace static analysis for determinism invariants
+//!
+//! Every layer of this reproduction stakes correctness on invariants
+//! the dynamic suites can only spot-check: bit-identical output at any
+//! worker count, pure-function scenario expansion, panic-free serving
+//! paths, and dense/reference routing engines that move in lockstep.
+//! This crate *proves the source obeys the rules* instead of hoping the
+//! 1/2/8-worker suites happened to catch a violation.
+//!
+//! The engine is self-contained: a hand-rolled lexer ([`lexer`]), a
+//! file/test-span scanner ([`source`]), inline allow pragmas
+//! ([`pragma`]), a rule framework ([`rules`]) and a committed baseline
+//! for grandfathered findings ([`baseline`]). CI gates on the binary:
+//!
+//! ```text
+//! cargo run -p conformance -- --deny-new
+//! ```
+
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use baseline::{Baseline, BaselineEntry, BaselineOutcome};
+pub use rules::{all_rules, Finding, Rule};
+pub use source::SourceFile;
+
+/// The lexed workspace rules run over.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads and lexes every scannable `.rs` file under `root`.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for rel in source::collect_files(root)? {
+            files.push(SourceFile::load(root, &rel)?);
+        }
+        Ok(Workspace { root: root.to_path_buf(), files })
+    }
+
+    /// Looks a file up by workspace-relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// The result of running every rule over a workspace, before the
+/// baseline is applied.
+pub struct Scan {
+    pub files_scanned: usize,
+    /// Findings that survived pragma filtering.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline allow pragma.
+    pub allowed: Vec<Finding>,
+}
+
+/// Runs every active rule (plus pragma-syntax checking) over the
+/// workspace at `root`.
+pub fn scan(root: &Path) -> std::io::Result<Scan> {
+    let ws = Workspace::load(root)?;
+    Ok(scan_workspace(&ws))
+}
+
+/// [`scan`] over an already-loaded workspace (used by the fixture
+/// tests, which assemble workspaces from strings).
+pub fn scan_workspace(ws: &Workspace) -> Scan {
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in all_rules() {
+        rule.check(ws, &mut raw);
+    }
+    // Malformed pragmas are findings too — a suppression that silently
+    // fails to parse must not silently suppress nothing.
+    for file in &ws.files {
+        for err in &file.pragma_errors {
+            raw.push(Finding {
+                rule: rules::PRAGMA_SYNTAX,
+                file: file.rel_path.clone(),
+                line: err.line,
+                message: err.message.clone(),
+                snippet: file.line_text(err.line).to_string(),
+            });
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut allowed = Vec::new();
+    for finding in raw {
+        let suppressed = finding.rule != rules::PRAGMA_SYNTAX
+            && ws
+                .file(&finding.file)
+                .is_some_and(|f| f.allowed(finding.rule, finding.line));
+        if suppressed {
+            allowed.push(finding);
+        } else {
+            findings.push(finding);
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    allowed.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Scan { files_scanned: ws.files.len(), findings, allowed }
+}
+
+/// The default baseline location, relative to the workspace root.
+pub const BASELINE_PATH: &str = "crates/conformance/baseline.json";

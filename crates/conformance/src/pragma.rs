@@ -1,0 +1,179 @@
+//! Inline suppression pragmas.
+//!
+//! A finding can be acknowledged at the site with
+//!
+//! ```text
+//! // conformance: allow(<rule-id>, reason = "why this is sound")
+//! ```
+//!
+//! A pragma on its own line covers the next line that carries code; a
+//! trailing pragma covers its own line. The reason is mandatory and must
+//! be non-empty — an allow without a justification is itself reported
+//! (rule `pragma-syntax`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed allow pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+}
+
+/// A malformed `conformance:` comment (reported as a finding).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Extracts pragmas from the comment tokens of one file.
+pub fn parse_pragmas(text: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<PragmaError>) {
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let body = comment_body(&text[tok.start..tok.end]);
+        let Some(rest) = body.strip_prefix("conformance:") else { continue };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                let target_line = pragma_target_line(tokens, i, tok.line);
+                allows.push(Allow { rule, reason, line: tok.line, target_line });
+            }
+            Err(message) => errors.push(PragmaError { line: tok.line, message }),
+        }
+    }
+    (allows, errors)
+}
+
+/// Strips exactly one comment introducer (`//`, `/*`) plus an optional
+/// doc marker (`/`, `!`, `*`). Stripping only one layer means a pragma
+/// *example* quoted inside a doc comment (`//! // conformance: ...`)
+/// still reads as a nested comment, not as a live pragma.
+fn comment_body(raw: &str) -> &str {
+    let raw = raw
+        .strip_prefix("//")
+        .or_else(|| raw.strip_prefix("/*"))
+        .unwrap_or(raw);
+    let raw = raw.strip_suffix("*/").unwrap_or(raw);
+    let raw = raw
+        .strip_prefix('/')
+        .or_else(|| raw.strip_prefix('!'))
+        .or_else(|| raw.strip_prefix('*'))
+        .unwrap_or(raw);
+    raw.trim()
+}
+
+/// Parses `allow(<rule>, reason = "...")`.
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(inner) = s.strip_prefix("allow(").and_then(|s| s.strip_suffix(')')) else {
+        return Err(format!("expected `allow(<rule>, reason = \"...\")`, got `{s}`"));
+    };
+    let Some((rule, rest)) = inner.split_once(',') else {
+        return Err("allow pragma is missing the mandatory `reason = \"...\"`".to_string());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("`{rule}` is not a rule id"));
+    }
+    let rest = rest.trim();
+    let Some(quoted) = rest.strip_prefix("reason").map(str::trim_start) else {
+        return Err("allow pragma is missing the mandatory `reason = \"...\"`".to_string());
+    };
+    let reason = quoted
+        .strip_prefix('=')
+        .map(str::trim)
+        .and_then(|q| q.strip_prefix('"'))
+        .and_then(|q| q.strip_suffix('"'))
+        .unwrap_or("");
+    if reason.trim().is_empty() {
+        return Err("allow pragma reason must be a non-empty string".to_string());
+    }
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+/// A trailing pragma covers its own line; a pragma alone on a line
+/// covers the line of the next significant token.
+fn pragma_target_line(tokens: &[Token], idx: usize, line: u32) -> u32 {
+    let code_before = tokens[..idx].iter().rev().take_while(|t| t.line == line).any(|t| {
+        !matches!(
+            t.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    });
+    if code_before {
+        return line;
+    }
+    tokens[idx + 1..]
+        .iter()
+        .find(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Allow>, Vec<PragmaError>) {
+        parse_pragmas(src, &lex(src))
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src = "// conformance: allow(no-wall-clock, reason = \"bench timing\")\n\
+                   let t = Instant::now();\n";
+        let (allows, errors) = parse(src);
+        assert!(errors.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "no-wall-clock");
+        assert_eq!(allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn trailing_pragma_targets_own_line() {
+        let src = "let t = now(); // conformance: allow(no-wall-clock, reason = \"x\")\n";
+        let (allows, _) = parse(src);
+        assert_eq!(allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn stacked_pragmas_share_a_target() {
+        let src = "// conformance: allow(rule-a, reason = \"a\")\n\
+                   // conformance: allow(rule-b, reason = \"b\")\n\
+                   call();\n";
+        let (allows, _) = parse(src);
+        assert_eq!(allows.len(), 2);
+        assert!(allows.iter().all(|a| a.target_line == 3));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (allows, errors) = parse("// conformance: allow(no-wall-clock)\nx();\n");
+        assert!(allows.is_empty());
+        assert_eq!(errors.len(), 1);
+        let (allows, errors) =
+            parse("// conformance: allow(no-wall-clock, reason = \"\")\nx();\n");
+        assert!(allows.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (allows, errors) = parse("// conformance is enforced statically\n");
+        assert!(allows.is_empty());
+        assert!(errors.is_empty());
+    }
+}

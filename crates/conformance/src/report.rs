@@ -1,0 +1,106 @@
+//! Diagnostic rendering: human-readable text and the JSON artifact CI
+//! uploads.
+
+use serde_json::{json, Value};
+
+use crate::baseline::BaselineOutcome;
+use crate::rules::{all_rules, Finding};
+use crate::Scan;
+
+fn finding_json(f: &Finding) -> Value {
+    json!({
+        "rule": f.rule,
+        "file": f.file,
+        "line": f.line,
+        "message": f.message,
+        "snippet": f.snippet,
+    })
+}
+
+/// The machine-readable report (uploaded as a CI artifact alongside the
+/// BENCH trajectory files).
+pub fn to_json(scan: &Scan, outcome: &BaselineOutcome) -> Value {
+    let rules: Vec<Value> = all_rules()
+        .iter()
+        .map(|r| {
+            let id = r.id();
+            let description = r.description();
+            json!({ "id": id, "description": description })
+        })
+        .collect();
+    let files_scanned = scan.files_scanned;
+    let new_count = outcome.new.len();
+    let baselined_count = outcome.baselined.len();
+    let allowed_count = scan.allowed.len();
+    let stale_count = outcome.stale.len();
+    let summary = json!({
+        "files_scanned": files_scanned,
+        "new": new_count,
+        "baselined": baselined_count,
+        "allowed": allowed_count,
+        "stale_baseline_entries": stale_count,
+    });
+    let new: Vec<Value> = outcome.new.iter().map(finding_json).collect();
+    let baselined: Vec<Value> = outcome.baselined.iter().map(finding_json).collect();
+    let allowed: Vec<Value> = scan.allowed.iter().map(finding_json).collect();
+    let stale: Vec<Value> = outcome
+        .stale
+        .iter()
+        .map(|e| {
+            let rule = e.rule.clone();
+            let file = e.file.clone();
+            let snippet = e.snippet.clone();
+            let count = e.count;
+            json!({ "rule": rule, "file": file, "snippet": snippet, "count": count })
+        })
+        .collect();
+    json!({
+        "tool": "conformance",
+        "rules": rules,
+        "summary": summary,
+        "new": new,
+        "baselined": baselined,
+        "allowed": allowed,
+        "stale_baseline_entries": stale,
+    })
+}
+
+fn render_finding(f: &Finding) -> String {
+    let loc = if f.line > 0 {
+        format!("{}:{}", f.file, f.line)
+    } else {
+        f.file.clone()
+    };
+    let mut line = format!("{loc}: [{}] {}", f.rule, f.message);
+    if !f.snippet.is_empty() {
+        line.push_str(&format!("\n    | {}", f.snippet));
+    }
+    line
+}
+
+/// The human-readable report printed by the binary.
+pub fn render_text(scan: &Scan, outcome: &BaselineOutcome) -> String {
+    let mut out = String::new();
+    for f in &outcome.new {
+        out.push_str(&render_finding(f));
+        out.push('\n');
+    }
+    for e in &outcome.stale {
+        out.push_str(&format!(
+            "{}: [baseline-expired] entry for rule `{}` covers {} finding(s) that no \
+             longer exist — shrink the baseline (`--update-baseline`)\n",
+            e.file, e.rule, e.count,
+        ));
+    }
+    out.push_str(&format!(
+        "conformance: {} files scanned, {} rules active; {} new, {} baselined, \
+         {} allowed by pragma, {} stale baseline entries\n",
+        scan.files_scanned,
+        all_rules().len(),
+        outcome.new.len(),
+        outcome.baselined.len(),
+        scan.allowed.len(),
+        outcome.stale.len(),
+    ));
+    out
+}

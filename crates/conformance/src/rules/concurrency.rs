@@ -1,0 +1,95 @@
+//! Concurrency-discipline rule: scoped threads only, and no
+//! lock-and-push accumulation inside scoped sweeps.
+
+use super::{finding_at, Finding, Rule, SigView};
+use crate::Workspace;
+
+/// `scoped-threads-only`:
+///
+/// 1. `thread::spawn` is banned everywhere — detached threads outlive
+///    the data they borrow (forcing `'static` + `Arc` churn) and escape
+///    the worker-count-invariance argument every parallel sweep in this
+///    workspace is built on. `std::thread::scope` (whose `scope.spawn`
+///    is fine) joins deterministically.
+/// 2. Inside a file that uses scoped sweeps, accumulating results with
+///    `shared.lock().push(...)` (or via `.unwrap()`/`.expect(...)`)
+///    records them in *completion order* — a nondeterministic order.
+///    Collect per-shard vectors and merge them in shard index order.
+pub struct ScopedThreadsOnly;
+
+impl Rule for ScopedThreadsOnly {
+    fn id(&self) -> &'static str {
+        "scoped-threads-only"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread::spawn is banned (use std::thread::scope), and Mutex lock-and-push \
+         accumulation inside scoped sweeps must be per-shard ordered merges"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let sig = SigView::new(file);
+            let uses_scope =
+                (0..sig.len()).any(|i| sig.matches(i, &["thread", "::", "scope"]));
+            for i in 0..sig.len() {
+                if file.is_test_code(sig.offset(i)) {
+                    continue;
+                }
+                // `thread::spawn` — but not `scope.spawn(...)`.
+                if sig.matches(i, &["thread", "::", "spawn"]) {
+                    let spawn_ix = i + SigView::width(&["thread", "::"]);
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        sig.line(spawn_ix),
+                        "`thread::spawn` detaches from the caller: use \
+                         `std::thread::scope` so shards join deterministically"
+                            .to_string(),
+                    ));
+                }
+                if uses_scope && lock_push_at(&sig, i) {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        sig.line(i),
+                        "Mutex lock-and-push accumulates in completion order inside a \
+                         scoped sweep: collect per-shard and merge in shard order"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Matches `lock().push(`, `lock().unwrap().push(` and
+/// `lock().expect("...").push(` starting at significant token `i`.
+fn lock_push_at(sig: &SigView<'_>, i: usize) -> bool {
+    if !sig.matches(i, &["lock", "(", ")"]) {
+        return false;
+    }
+    let mut j = i + 3;
+    if sig.matches(j, &[".", "unwrap", "(", ")"]) {
+        j += 4;
+    } else if sig.matches(j, &[".", "expect", "("]) {
+        // Skip the expect argument to its closing paren.
+        let mut depth = 0usize;
+        let mut k = j + 2;
+        while k < sig.len() {
+            match sig.text(k) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    sig.matches(j, &[".", "push", "("])
+}

@@ -1,0 +1,148 @@
+//! Determinism rules: no unordered iteration in deterministic crates,
+//! no wall-clock reads, no unseeded randomness.
+
+use super::{finding_at, Finding, Rule, SigView};
+use crate::Workspace;
+
+/// Crates whose outputs the ROADMAP pins byte-identical across runs,
+/// platforms and worker counts. Unordered containers are banned there
+/// outright — even an un-iterated `HashMap` invites the next editor to
+/// iterate it.
+pub const DETERMINISTIC_CRATES: [&str; 5] =
+    ["world", "scenario-forge", "bgp-sim", "workflow", "registry"];
+
+/// `no-unordered-iteration`: `HashMap`/`HashSet` in a deterministic
+/// crate. ROADMAP mandates `BTreeMap`/`BTreeSet` or sorted order.
+pub struct NoUnorderedIteration;
+
+impl Rule for NoUnorderedIteration {
+    fn id(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet are banned in deterministic crates (world, scenario-forge, \
+         bgp-sim, workflow, registry); use BTreeMap/BTreeSet or sorted vectors"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !DETERMINISTIC_CRATES.contains(&file.crate_name()) {
+                continue;
+            }
+            let sig = SigView::new(file);
+            for i in 0..sig.len() {
+                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
+                    continue;
+                }
+                let name = sig.text(i);
+                if name == "HashMap" || name == "HashSet" {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        sig.line(i),
+                        format!(
+                            "`{name}` in deterministic crate `{}`: iteration order is \
+                             unordered; use BTreeMap/BTreeSet or a sorted vector",
+                            file.crate_name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `no-wall-clock`: `Instant`/`SystemTime` outside test code and
+/// measurement context. Scenario expansion, world generation and
+/// serving must be pure functions of their inputs; wall-clock reads are
+/// hidden inputs. The bench crate *measures* wall time — its sites
+/// carry explicit `conformance: allow` pragmas, and `benches/`
+/// directories are exempt wholesale.
+pub struct NoWallClock;
+
+impl Rule for NoWallClock {
+    fn id(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "std::time::Instant/SystemTime are banned outside tests and benches; \
+         deterministic code takes time as an explicit SimTime input"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.in_benches_dir {
+                continue;
+            }
+            let sig = SigView::new(file);
+            for i in 0..sig.len() {
+                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
+                    continue;
+                }
+                let name = sig.text(i);
+                if name == "Instant" || name == "SystemTime" {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        sig.line(i),
+                        format!(
+                            "`{name}` reads the wall clock: deterministic code must take \
+                             time as an explicit input (SimTime), not sample it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `no-unseeded-rng`: randomness that does not flow from an explicit
+/// seed. All generator randomness flows from `StdRng::seed_from_u64`.
+pub struct NoUnseededRng;
+
+/// Identifiers that always mean entropy-seeded randomness.
+const UNSEEDED: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+
+impl Rule for NoUnseededRng {
+    fn id(&self) -> &'static str {
+        "no-unseeded-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread_rng/from_entropy/OsRng/rand::random are banned; all randomness \
+         must flow from an explicit seed (StdRng::seed_from_u64)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.in_benches_dir {
+                continue;
+            }
+            let sig = SigView::new(file);
+            for i in 0..sig.len() {
+                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
+                    continue;
+                }
+                let name = sig.text(i);
+                let qual_w = SigView::width(&["rand", "::"]);
+                let hit = UNSEEDED.contains(&name)
+                    || (name == "random"
+                        && i >= qual_w
+                        && sig.matches(i - qual_w, &["rand", "::"]));
+                if hit {
+                    out.push(finding_at(
+                        self.id(),
+                        file,
+                        sig.line(i),
+                        format!(
+                            "`{name}` draws entropy-seeded randomness: seed an StdRng \
+                             from the scenario/world config instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The rule framework.
+//!
+//! A rule walks the lexed workspace and emits [`Finding`]s. Rules see
+//! the whole [`Workspace`] so cross-file invariants (like the
+//! dense/reference engine pairing) are expressible; single-file rules
+//! just loop. Adding a rule: implement [`Rule`], register it in
+//! [`all_rules`], add a violating + clean fixture under
+//! `fixtures/`, and document it in the README table.
+
+use crate::source::SourceFile;
+use crate::Workspace;
+
+pub mod concurrency;
+pub mod determinism;
+pub mod paired_engines;
+pub mod panic_budget;
+
+/// Rule id used for malformed `conformance:` comments (reported by the
+/// engine itself, not a [`Rule`] impl).
+pub const PRAGMA_SYNTAX: &str = "pragma-syntax";
+
+/// One diagnostic: a rule violated at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path (or `crates/<name>` for crate-level
+    /// aggregates like the panic budget).
+    pub file: String,
+    /// 1-based line, or 0 for crate-level aggregates.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line — the baseline matches on this, not the line
+    /// number, so unrelated edits don't invalidate grandfathered
+    /// findings.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// The identity the baseline matches on.
+    pub fn key(&self) -> (String, String, String) {
+        (self.rule.to_string(), self.file.clone(), self.snippet.clone())
+    }
+}
+
+/// A static-analysis rule over the lexed workspace.
+pub trait Rule {
+    fn id(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every active rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::NoUnorderedIteration),
+        Box::new(determinism::NoWallClock),
+        Box::new(determinism::NoUnseededRng),
+        Box::new(concurrency::ScopedThreadsOnly),
+        Box::new(panic_budget::PanicBudget),
+        Box::new(paired_engines::PairedEngines),
+    ]
+}
+
+/// Emits one finding anchored at a token occurrence.
+pub(crate) fn finding_at(
+    rule: &'static str,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+    }
+}
+
+/// Shared pattern-matching view: significant-token texts plus their
+/// token indices, so rules can look around occurrences cheaply.
+pub(crate) struct SigView<'a> {
+    pub file: &'a SourceFile,
+    pub idx: Vec<usize>,
+}
+
+impl<'a> SigView<'a> {
+    pub fn new(file: &'a SourceFile) -> SigView<'a> {
+        SigView { file, idx: file.sig() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Text of the `i`-th significant token.
+    pub fn text(&self, i: usize) -> &str {
+        self.file.token_text(&self.file.tokens[self.idx[i]])
+    }
+
+    pub fn line(&self, i: usize) -> u32 {
+        self.file.tokens[self.idx[i]].line
+    }
+
+    pub fn offset(&self, i: usize) -> usize {
+        self.file.tokens[self.idx[i]].start
+    }
+
+    pub fn is_ident(&self, i: usize) -> bool {
+        matches!(self.file.tokens[self.idx[i]].kind, crate::lexer::TokenKind::Ident)
+    }
+
+    /// Whether significant tokens starting at `i` spell out `pattern`.
+    /// The lexer emits punctuation one character per token, so a
+    /// multi-character punctuation element such as `"::"` matches the
+    /// corresponding run of single-character tokens.
+    pub fn matches(&self, i: usize, pattern: &[&str]) -> bool {
+        let mut k = i;
+        for p in pattern {
+            if Self::is_multi_punct(p) {
+                for c in p.chars() {
+                    if k >= self.len() || self.text(k) != c.to_string() {
+                        return false;
+                    }
+                    k += 1;
+                }
+            } else {
+                if k >= self.len() || self.text(k) != *p {
+                    return false;
+                }
+                k += 1;
+            }
+        }
+        true
+    }
+
+    /// How many significant tokens `pattern` spans when matched.
+    pub fn width(pattern: &[&str]) -> usize {
+        pattern
+            .iter()
+            .map(|p| if Self::is_multi_punct(p) { p.chars().count() } else { 1 })
+            .sum()
+    }
+
+    fn is_multi_punct(p: &str) -> bool {
+        p.len() > 1 && p.chars().all(|c| c.is_ascii_punctuation())
+    }
+}

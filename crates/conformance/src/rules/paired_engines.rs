@@ -1,0 +1,208 @@
+//! Paired-engines rule: the dense BGP routing engine and its retained
+//! seed oracle must stay feature-paired.
+
+use super::{Finding, Rule, SigView};
+use crate::source::SourceFile;
+use crate::Workspace;
+
+const ROUTING: &str = "crates/bgp-sim/src/routing.rs";
+const EVENTS: &str = "crates/world/src/events.rs";
+
+/// `paired-engines`: every `PolicyOverrides` field and `EventKind`
+/// variant referenced by the dense engine in `routing.rs` must also be
+/// referenced inside `routing::reference`, and vice versa.
+///
+/// The `dense_equivalence` suite only catches divergence *after* the
+/// bug exists and a generator happens to hit it; this rule catches the
+/// drift at the source level — a policy knob or control-plane event
+/// consumed by one engine and silently ignored by the other.
+pub struct PairedEngines;
+
+impl Rule for PairedEngines {
+    fn id(&self) -> &'static str {
+        "paired-engines"
+    }
+
+    fn description(&self) -> &'static str {
+        "PolicyOverrides fields and EventKind variants referenced by the dense \
+         routing engine and routing::reference must match exactly"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(routing) = ws.file(ROUTING) else {
+            out.push(missing(self.id(), ROUTING, "the dense/reference routing engines"));
+            return;
+        };
+        let Some(events) = ws.file(EVENTS) else {
+            out.push(missing(self.id(), EVENTS, "the EventKind declaration"));
+            return;
+        };
+
+        let sig = SigView::new(routing);
+        let mut tracked: Vec<String> = Vec::new();
+        match struct_fields(routing, "PolicyOverrides") {
+            Some(fields) => tracked.extend(fields),
+            None => {
+                out.push(missing(self.id(), ROUTING, "the PolicyOverrides struct"));
+                return;
+            }
+        }
+        match enum_variants(events, "EventKind") {
+            Some(variants) => tracked.extend(variants),
+            None => {
+                out.push(missing(self.id(), EVENTS, "the EventKind enum"));
+                return;
+            }
+        }
+
+        let Some((ref_start, ref_end)) = mod_span(&sig, "reference") else {
+            out.push(missing(self.id(), ROUTING, "the routing::reference module"));
+            return;
+        };
+
+        // First reference line per tracked name, per engine region.
+        for name in tracked {
+            let mut dense_line: Option<u32> = None;
+            let mut reference_line: Option<u32> = None;
+            for i in 0..sig.len() {
+                if !sig.is_ident(i) || sig.text(i) != name {
+                    continue;
+                }
+                let off = sig.offset(i);
+                if routing.is_test_code(off) {
+                    continue;
+                }
+                let slot = if off >= ref_start && off < ref_end {
+                    &mut reference_line
+                } else {
+                    &mut dense_line
+                };
+                if slot.is_none() {
+                    *slot = Some(sig.line(i));
+                }
+            }
+            let (line, have, lack) = match (dense_line, reference_line) {
+                (Some(l), None) => (l, "the dense engine", "routing::reference"),
+                (None, Some(l)) => (l, "routing::reference", "the dense engine"),
+                _ => continue,
+            };
+            out.push(Finding {
+                rule: self.id(),
+                file: ROUTING.to_string(),
+                line,
+                message: format!(
+                    "`{name}` is referenced by {have} but not by {lack}: the two \
+                     engines must implement control-plane semantics in lockstep \
+                     (dense_equivalence pins them byte-identical)"
+                ),
+                snippet: routing.line_text(line).to_string(),
+            });
+        }
+    }
+}
+
+fn missing(rule: &'static str, file: &str, what: &str) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line: 0,
+        message: format!(
+            "paired-engines could not locate {what} in `{file}` — if the engines \
+             moved, update the rule to follow them"
+        ),
+        snippet: String::new(),
+    }
+}
+
+/// Field names of `struct <name> { ... }`.
+fn struct_fields(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let sig = SigView::new(file);
+    let start = (0..sig.len())
+        .find(|&i| sig.text(i) == "struct" && sig.matches(i + 1, &[name]))?;
+    let open = (start..sig.len()).find(|&i| sig.text(i) == "{")?;
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < sig.len() {
+        match sig.text(i) {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // An ident followed by a single `:` — `::` would mean the
+            // ident is a path segment inside a field's type instead.
+            _ if depth == 1
+                && sig.is_ident(i)
+                && sig.matches(i + 1, &[":"])
+                && !sig.matches(i + 1, &["::"]) =>
+            {
+                fields.push(sig.text(i).to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(fields)
+}
+
+/// Variant names of `enum <name> { ... }` (skipping attributes and the
+/// contents of variant payloads).
+fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let sig = SigView::new(file);
+    let start =
+        (0..sig.len()).find(|&i| sig.text(i) == "enum" && sig.matches(i + 1, &[name]))?;
+    let open = (start..sig.len()).find(|&i| sig.text(i) == "{")?;
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut at_variant = false; // next depth-1 ident starts a variant
+    let mut i = open;
+    while i < sig.len() {
+        match sig.text(i) {
+            "{" | "(" | "[" => {
+                if sig.text(i) == "{" && depth == 0 {
+                    at_variant = true;
+                }
+                depth += 1;
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => at_variant = true,
+            "#" if depth == 1 => {} // attribute introducer
+            _ if depth == 1 && at_variant && sig.is_ident(i) => {
+                variants.push(sig.text(i).to_string());
+                at_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// Byte span of `mod <name> { ... }` in the significant-token stream.
+fn mod_span(sig: &SigView<'_>, name: &str) -> Option<(usize, usize)> {
+    let start = (0..sig.len())
+        .find(|&i| sig.text(i) == "mod" && sig.matches(i + 1, &[name]))?;
+    let open = (start..sig.len()).find(|&i| sig.text(i) == "{")?;
+    let mut depth = 0usize;
+    for i in open..sig.len() {
+        match sig.text(i) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((sig.offset(start), sig.offset(i) + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,289 @@
+//! Workspace file collection and the per-file source model rules run on.
+
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma::{parse_pragmas, Allow, PragmaError};
+
+/// Top-level directories scanned, relative to the workspace root.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Directory names skipped anywhere in the walk: vendored stand-ins and
+/// build output are not our code, and `fixtures/` trees are deliberately
+/// violating inputs for the conformance tests themselves.
+const SKIP_DIRS: [&str; 3] = ["vendor", "target", "fixtures"];
+
+/// One lexed workspace source file plus everything the rules need to
+/// interpret it: which spans are test code, and which findings the
+/// author explicitly allowed.
+pub struct SourceFile {
+    /// Path relative to the scanned root, `/`-separated.
+    pub rel_path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Byte spans of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Whether the whole file is test/measurement context (under a
+    /// `tests/` or `benches/` directory).
+    pub whole_file_test: bool,
+    /// Whether the file lives under a `benches/` directory (exempt from
+    /// the wall-clock and rng rules, like `crates/bench` via pragmas).
+    pub in_benches_dir: bool,
+    pub allows: Vec<Allow>,
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl SourceFile {
+    /// Loads and lexes one file. `rel_path` uses `/` separators.
+    pub fn load(root: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel_path))?;
+        Ok(SourceFile::from_text(rel_path, text))
+    }
+
+    pub fn from_text(rel_path: &str, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let test_spans = test_spans(&text, &tokens);
+        let (allows, pragma_errors) = parse_pragmas(&text, &tokens);
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let whole_file_test =
+            components.contains(&"tests") || components.contains(&"benches");
+        let in_benches_dir = components.contains(&"benches");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            text,
+            tokens,
+            test_spans,
+            whole_file_test,
+            in_benches_dir,
+            allows,
+            pragma_errors,
+        }
+    }
+
+    /// The crate this file belongs to: `crates/<name>/...` → `<name>`,
+    /// everything else (root `src/`, `tests/`, `examples/`) → the root
+    /// package.
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.rel_path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some("crates"), Some(name)) => name,
+            _ => "arachnet-repro",
+        }
+    }
+
+    pub fn token_text(&self, t: &Token) -> &str {
+        &self.text[t.start..t.end]
+    }
+
+    /// Whether the byte offset falls in test context (whole-file or a
+    /// `#[cfg(test)]` span).
+    pub fn is_test_code(&self, offset: usize) -> bool {
+        self.whole_file_test
+            || self.test_spans.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether a finding of `rule` at `line` was explicitly allowed by an
+    /// inline pragma.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && a.target_line == line)
+    }
+
+    /// Indices of significant tokens: everything except whitespace and
+    /// comments. Rules pattern-match over this stream.
+    pub fn sig(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    self.tokens[i].kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    /// The trimmed text of a 1-based line (for diagnostics and baseline
+    /// keys).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// Finds byte spans of test-only items: an outer attribute sequence
+/// containing `cfg(test)` or `test`, covering the item it annotates (to
+/// its closing brace, or to `;` for brace-less items).
+fn test_spans(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| {
+            !matches!(
+                tokens[i].kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let txt = |i: usize| &text[tokens[sig[i]].start..tokens[sig[i]].end];
+
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if txt(i) != "#" || i + 1 >= sig.len() || txt(i + 1) != "[" {
+            i += 1;
+            continue;
+        }
+        let attr_start = tokens[sig[i]].start;
+        // Scan the bracketed attribute, remembering whether it gates on
+        // test compilation.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        let mut saw_cfg = false;
+        while j < sig.len() {
+            match txt(j) {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => saw_cfg = true,
+                // `#[test]` or `#[cfg(test)]` (also matches inside
+                // `#[cfg(all(test, ...))]`, which is what we want).
+                "test" if saw_cfg || depth == 1 => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then cover the annotated item.
+        let mut k = j + 1;
+        while k + 1 < sig.len() && txt(k) == "#" && txt(k + 1) == "[" {
+            let mut d = 0usize;
+            k += 1;
+            while k < sig.len() {
+                match txt(k) {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item body: the first `{` at nesting level 0 (then its
+        // matching `}`), or a `;` before any brace.
+        let mut d = 0usize;
+        let mut end = None;
+        while k < sig.len() {
+            match txt(k) {
+                "{" => d += 1,
+                "}" => {
+                    d = d.saturating_sub(1);
+                    if d == 0 {
+                        end = Some(tokens[sig[k]].end);
+                        break;
+                    }
+                }
+                ";" if d == 0 => {
+                    end = Some(tokens[sig[k]].end);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = end.unwrap_or(text.len());
+        spans.push((attr_start, end));
+        // Continue after the span.
+        while i < sig.len() && tokens[sig[i]].start < end {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Recursively collects the workspace's `.rs` files under the scan
+/// roots, skipping vendored/generated/fixture trees. Paths are sorted
+/// for deterministic output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, Path::new(top), &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, rel: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let path = entry.path();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, &rel.join(name.as_ref()), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_string(&rel.join(name.as_ref())));
+        }
+    }
+    Ok(())
+}
+
+fn rel_string(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_cfg_test_module_span() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::from_text("crates/demo/src/lib.rs", src.to_string());
+        let live = src.find("x.unwrap").unwrap();
+        let test = src.find("y.unwrap").unwrap();
+        assert!(!f.is_test_code(live));
+        assert!(f.is_test_code(test));
+    }
+
+    #[test]
+    fn detects_test_fn_and_braceless_items() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\n\
+                   #[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let f = SourceFile::from_text("crates/demo/src/lib.rs", src.to_string());
+        assert!(f.is_test_code(src.find("a.unwrap").unwrap()));
+        assert!(f.is_test_code(src.find("HashMap").unwrap()));
+        assert!(!f.is_test_code(src.find("fn live").unwrap()));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test_context() {
+        let f = SourceFile::from_text("crates/demo/tests/it.rs", "fn x() {}".into());
+        assert!(f.is_test_code(0));
+        assert_eq!(f.crate_name(), "demo");
+        let root = SourceFile::from_text("src/lib.rs", "fn x() {}".into());
+        assert_eq!(root.crate_name(), "arachnet-repro");
+    }
+}

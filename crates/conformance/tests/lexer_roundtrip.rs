@@ -1,0 +1,132 @@
+//! The lexer's one hard contract: token spans tile the input exactly,
+//! so concatenating every token's text reproduces the source byte for
+//! byte. Pinned twice — over generated token soup, and over every real
+//! source file in the workspace.
+
+use std::path::PathBuf;
+
+use conformance::lexer::{lex, TokenKind};
+use conformance::source;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+fn assert_roundtrip(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        prop_assert!(
+            t.start == cursor,
+            "gap or overlap at byte {} (token starts at {}) in {:?}",
+            cursor,
+            t.start,
+            src
+        );
+        prop_assert!(t.end > t.start, "empty token at {} in {:?}", t.start, src);
+        cursor = t.end;
+    }
+    prop_assert!(
+        cursor == src.len(),
+        "lexer stopped at byte {} of {} in {:?}",
+        cursor,
+        src.len(),
+        src
+    );
+    let rebuilt: String = tokens.iter().map(|t| &src[t.start..t.end]).collect();
+    prop_assert_eq!(rebuilt, src.to_string());
+
+    // Line numbers never decrease and start at 1.
+    let mut line = 1;
+    for t in &tokens {
+        prop_assert!(t.line >= line, "line went backwards in {src:?}");
+        line = t.line;
+    }
+    Ok(())
+}
+
+/// Fragments deliberately include pathological prefixes: unterminated
+/// strings, lone quotes, raw-string openers, escapes at EOF.
+fn fragment() -> Union<String> {
+    let lit = |s: &'static str| Just(s.to_string()).boxed();
+    Union::new(vec![
+        lit("HashMap"),
+        lit("r#type"),
+        lit("fn main() {}"),
+        lit("// line comment"),
+        lit("/* block /* nested */ */"),
+        lit("/* unterminated"),
+        lit("\"string with HashMap\""),
+        lit("\"unterminated"),
+        lit("\"escape at eof \\"),
+        lit("r#\"raw \"inner\" body\"#"),
+        lit("r#\"unterminated raw"),
+        lit("b\"bytes\""),
+        lit("b'x'"),
+        lit("'a'"),
+        lit("'\\n'"),
+        lit("'static"),
+        lit("'"),
+        lit("1..2"),
+        lit("1.5e-3f64"),
+        lit("0x1F_u32"),
+        lit("\n"),
+        lit("\t "),
+        lit("::<>!&|"),
+        lit("λ→∀"),
+        (0u32..1000).prop_map(|n| format!("ident_{n}")).boxed(),
+        (0u64..u64::MAX).prop_map(|n| n.to_string()).boxed(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_token_soup_roundtrips(parts in vec(fragment(), 0..24)) {
+        let src = parts.concat();
+        assert_roundtrip(&src)?;
+    }
+
+    #[test]
+    fn soup_with_separators_roundtrips(parts in vec(fragment(), 0..24)) {
+        let src = parts.join(" ");
+        assert_roundtrip(&src)?;
+        // With spaces between fragments, literal fragments cannot run
+        // into each other, so known-code fragments keep their kinds —
+        // unless an earlier fragment legitimately swallows what follows:
+        // an unterminated literal eats to EOF, and a line comment eats
+        // to the next newline fragment (the joiner is a space).
+        let mut in_line_comment = false;
+        let mut visible_hashmap = false;
+        for p in &parts {
+            if p.contains("unterminated") || p == "'" || p.ends_with('\\') {
+                break; // eats the rest of the input
+            }
+            if p.contains('\n') {
+                in_line_comment = false;
+            } else if p.starts_with("//") {
+                in_line_comment = true;
+            }
+            if !in_line_comment && p == "HashMap" {
+                visible_hashmap = true;
+            }
+        }
+        if visible_hashmap {
+            let found = lex(&src)
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && &src[t.start..t.end] == "HashMap");
+            prop_assert!(found, "HashMap fragment lost its Ident kind in {src:?}");
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_roundtrips() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let files = source::collect_files(&root).expect("collects workspace sources");
+    assert!(files.len() > 80, "expected a real workspace, got {} files", files.len());
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel)).expect("readable");
+        assert_roundtrip(&text).unwrap_or_else(|msg| panic!("{rel}: {msg}"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-rule fixture coverage: one violating and one clean fixture per
+//! rule, pragma-allow behavior, and baseline matching/expiry.
+
+use std::path::PathBuf;
+
+use conformance::{scan, Baseline, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures")).join(name)
+}
+
+fn rule_count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn violating_fixture_trips_every_rule() {
+    let scan = scan(&fixture("violating")).expect("fixture scans");
+    let f = &scan.findings;
+
+    // no-unordered-iteration: the import, the annotation and the
+    // HashSet use — but not the #[cfg(test)] module's maps.
+    assert_eq!(rule_count(f, "no-unordered-iteration"), 3);
+    assert!(f
+        .iter()
+        .filter(|x| x.rule == "no-unordered-iteration")
+        .all(|x| x.file == "crates/world/src/iteration.rs"));
+
+    // no-wall-clock: Instant + SystemTime.
+    assert_eq!(rule_count(f, "no-wall-clock"), 2);
+
+    // no-unseeded-rng: thread_rng + rand::random.
+    assert_eq!(rule_count(f, "no-unseeded-rng"), 2);
+
+    // scoped-threads-only: the detached spawn + the lock-and-push.
+    assert_eq!(rule_count(f, "scoped-threads-only"), 2);
+    assert!(f
+        .iter()
+        .any(|x| x.rule == "scoped-threads-only" && x.snippet.contains("push")));
+
+    // panic-budget: one crate-level aggregate for `core`.
+    assert_eq!(rule_count(f, "panic-budget"), 1);
+    let budget = f.iter().find(|x| x.rule == "panic-budget").expect("present");
+    assert_eq!(budget.file, "crates/core");
+    assert!(budget.message.contains("panics.rs"), "sites listed: {}", budget.message);
+
+    // paired-engines: the dense-only field and the dense-only variant.
+    assert_eq!(rule_count(f, "paired-engines"), 2);
+    let drifted: Vec<&str> = f
+        .iter()
+        .filter(|x| x.rule == "paired-engines")
+        .map(|x| x.message.split('`').nth(1).expect("name quoted"))
+        .collect();
+    assert!(drifted.contains(&"drop_prefixes"), "got {drifted:?}");
+    assert!(drifted.contains(&"PrefixHijack"), "got {drifted:?}");
+
+    assert!(scan.allowed.is_empty());
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let scan = scan(&fixture("clean")).expect("fixture scans");
+    assert_eq!(
+        scan.findings,
+        Vec::new(),
+        "clean fixtures must produce zero findings"
+    );
+}
+
+#[test]
+fn pragma_allow_suppresses_with_reason_only() {
+    let scan = scan(&fixture("pragma")).expect("fixture scans");
+
+    // allowed.rs: both pragmas (standalone + preceding-line) suppress.
+    assert!(!scan
+        .findings
+        .iter()
+        .any(|f| f.file == "crates/world/src/allowed.rs"));
+    assert_eq!(
+        scan.allowed
+            .iter()
+            .filter(|f| f.file == "crates/world/src/allowed.rs")
+            .count(),
+        2
+    );
+
+    // malformed.rs: the reason-less pragma is a finding and suppresses
+    // nothing — the HashMap it hoped to cover still fires.
+    assert_eq!(rule_count(&scan.findings, "pragma-syntax"), 1);
+    assert!(scan
+        .findings
+        .iter()
+        .any(|f| f.rule == "no-unordered-iteration"
+            && f.file == "crates/world/src/malformed.rs"
+            && f.snippet.contains("use std::collections::HashMap")));
+}
+
+#[test]
+fn baseline_covers_then_expires() {
+    let violating = scan(&fixture("violating")).expect("fixture scans");
+
+    // Grandfather everything: nothing new, nothing stale.
+    let baseline = Baseline::from_findings(&violating.findings);
+    let outcome = baseline.apply(violating.findings.clone());
+    assert!(outcome.new.is_empty());
+    assert!(outcome.stale.is_empty());
+    assert_eq!(outcome.baselined.len(), violating.findings.len());
+
+    // Round-trip through JSON keeps covering.
+    let reloaded = Baseline::from_json(&baseline.to_json()).expect("parses");
+    assert!(reloaded.apply(violating.findings.clone()).new.is_empty());
+
+    // Drop one entry: exactly the findings it covered become new.
+    let mut shrunk = baseline.clone();
+    let removed = shrunk.entries.remove(0);
+    let outcome = shrunk.apply(violating.findings.clone());
+    assert_eq!(outcome.new.len(), removed.count);
+    assert!(outcome.new.iter().all(|f| f.rule == removed.rule));
+
+    // Fix the findings (here: scan the clean tree instead): every entry
+    // is now expired and the scan demands the baseline shrink.
+    let clean = scan(&fixture("clean")).expect("fixture scans");
+    let outcome = baseline.apply(clean.findings);
+    assert!(outcome.new.is_empty());
+    assert_eq!(outcome.stale.len(), baseline.entries.len());
+}

@@ -1,0 +1,97 @@
+//! The workspace scans itself clean — and the gate actually fires when
+//! a violation is injected.
+
+use std::path::{Path, PathBuf};
+
+use conformance::{scan_workspace, Baseline, SourceFile, Workspace, BASELINE_PATH};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_has_zero_non_baselined_findings() {
+    let root = workspace_root();
+    let scan = conformance::scan(&root).expect("workspace scans");
+    assert!(scan.files_scanned > 80, "scanned {} files", scan.files_scanned);
+    assert!(conformance::all_rules().len() >= 5);
+
+    let baseline = Baseline::load(&root.join(BASELINE_PATH)).expect("baseline loads");
+    let outcome = baseline.apply(scan.findings);
+    assert_eq!(
+        outcome.new,
+        Vec::new(),
+        "the workspace must scan clean against the committed baseline"
+    );
+    assert_eq!(outcome.stale.len(), 0, "stale baseline entries must be removed");
+
+    // The committed baseline grandfathers no determinism findings in
+    // the crates whose byte-identical outputs the ROADMAP pins.
+    for entry in &baseline.entries {
+        let determinism = matches!(
+            entry.rule.as_str(),
+            "no-unordered-iteration" | "no-wall-clock" | "no-unseeded-rng"
+        );
+        let pinned_crate = ["crates/core", "crates/workflow", "crates/scenario-forge"]
+            .iter()
+            .any(|p| entry.file.starts_with(p));
+        assert!(
+            !(determinism && pinned_crate),
+            "determinism finding grandfathered in a pinned crate: {entry:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_violation_fails_the_gate() {
+    let root = workspace_root();
+    let mut ws = Workspace::load(&root).expect("workspace loads");
+
+    // Inject a determinism violation into a pinned crate, exactly as a
+    // bad PR would.
+    ws.files.push(SourceFile::from_text(
+        "crates/world/src/injected.rs",
+        "use std::collections::HashMap;\n\
+         pub fn drift() -> HashMap<u32, u32> { HashMap::new() }\n\
+         pub fn when() -> std::time::Instant { std::time::Instant::now() }\n"
+            .to_string(),
+    ));
+
+    let scan = scan_workspace(&ws);
+    let baseline =
+        Baseline::load(&root.join(BASELINE_PATH)).expect("baseline loads");
+    let outcome = baseline.apply(scan.findings);
+    let injected: Vec<_> = outcome
+        .new
+        .iter()
+        .filter(|f| f.file == "crates/world/src/injected.rs")
+        .collect();
+    assert!(
+        injected.iter().any(|f| f.rule == "no-unordered-iteration"),
+        "injected HashMap must surface as a new finding"
+    );
+    assert!(
+        injected.iter().any(|f| f.rule == "no-wall-clock"),
+        "injected Instant must surface as a new finding"
+    );
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = workspace_root();
+    let a = conformance::scan(&root).expect("scans");
+    let b = conformance::scan(&root).expect("scans");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.allowed, b.allowed);
+    assert_eq!(a.files_scanned, b.files_scanned);
+}
+
+#[test]
+fn fixture_trees_are_not_part_of_the_workspace_scan() {
+    let root = workspace_root();
+    let files = conformance::source::collect_files(&root).expect("collects");
+    assert!(files.iter().all(|f| !f.contains("/fixtures/")));
+    assert!(files.iter().all(|f| !f.starts_with("vendor")));
+    assert!(files.contains(&"crates/bgp-sim/src/routing.rs".to_string()));
+    assert!(Path::new(&root).join(BASELINE_PATH).is_file());
+}

@@ -54,7 +54,7 @@ pub fn resolve(claims: &[Claim]) -> Option<Resolution> {
     if total <= 0.0 {
         return None;
     }
-    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    weights.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let (winner, winner_weight) = weights[0].clone();
 
     let dissent: Vec<(String, String)> = claims

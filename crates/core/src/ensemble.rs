@@ -153,7 +153,7 @@ pub fn generate_ensemble<S: SolutionSource + ?Sized>(
         })
         .collect();
     agreements.sort_by(|a, b| {
-        b.agreement.partial_cmp(&a.agreement).unwrap().then(a.function.cmp(&b.function))
+        b.agreement.total_cmp(&a.agreement).then(a.function.cmp(&b.function))
     });
 
     // Medoid: the member with the highest mean similarity to the others.
@@ -161,7 +161,7 @@ pub fn generate_ensemble<S: SolutionSource + ?Sized>(
         .max_by(|&i, &j| {
             let si: f64 = (0..sets.len()).filter(|&k| k != i).map(|k| jaccard(&sets[i], &sets[k])).sum();
             let sj: f64 = (0..sets.len()).filter(|&k| k != j).map(|k| jaccard(&sets[j], &sets[k])).sum();
-            si.partial_cmp(&sj).unwrap().then(j.cmp(&i)) // ties: lower index
+            si.total_cmp(&sj).then(j.cmp(&i)) // ties: lower index
         })
         .unwrap_or(0);
 

@@ -661,7 +661,7 @@ fn combine_tables(a: &CountryTableData, b: &CountryTableData) -> CountryTableDat
     }
     let mut rows: Vec<CountryRow> = by_country.into_values().collect();
     rows.sort_by(|x, y| {
-        y.impact_score.partial_cmp(&x.impact_score).unwrap().then(x.country.cmp(&y.country))
+        y.impact_score.total_cmp(&x.impact_score).then(x.country.cmp(&y.country))
     });
     CountryTableData { rows }
 }
@@ -718,7 +718,7 @@ fn control_plane_impact_table(
         })
         .collect();
     rows.sort_by(|x, y| {
-        y.impact_score.partial_cmp(&x.impact_score).unwrap().then(x.country.cmp(&y.country))
+        y.impact_score.total_cmp(&x.impact_score).then(x.country.cmp(&y.country))
     });
     CountryTableData { rows }
 }
