@@ -1,7 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr6.json` at the repo root (and
+//! serving hot paths, written as `BENCH_pr7.json` at the repo root (and
 //! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
-//! through `BENCH_pr5.json`).
+//! through `BENCH_pr6.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -10,7 +10,7 @@
 //!
 //! Unlike the criterion benches (statistical, interactive), this is the
 //! cheap comparable record each PR leaves behind: one JSON file with a
-//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr6`
+//! median per hot path. Benchmark ids are stable across PRs — `BENCH_pr7`
 //! repeats every earlier row:
 //!
 //! * `workflow/exec_dag` — the parallel DAG executor on a fan-out
@@ -35,7 +35,15 @@
 //! * `toolkit/mapping_shared_world` — serving the Nautilus mapping
 //!   artifact to N scenarios sharing one world through the world-keyed
 //!   store vs recomputing the mapping run per scenario (the pre-PR-5
-//!   behaviour).
+//!   behaviour);
+//! * `engine/chaos_overhead` — the `workflow/exec_dag` workload executed
+//!   through a `ChaosRuntime` with an *empty* fault plan vs the bare
+//!   runtime: the pass-through tax of the injection layer, which the
+//!   PR 7 acceptance pins at ≤2% (speedup ≈ 1.0);
+//! * `engine/degraded_session` — the CS5 forensics query served with
+//!   `bgp.valley_violations` persistently failed (run completes
+//!   `Degraded`, skipping the poisoned attribution work) vs the same
+//!   query served healthy.
 
 // conformance: allow(no-wall-clock, reason = "the bench report exists to measure wall time")
 use std::time::Instant;
@@ -68,7 +76,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -163,14 +171,14 @@ fn main() {
     let dag_seq = median_ms(9, || {
         workflow::execute_with(
             &dag_workflow, &dag_registry, &busy, &dag_args,
-            &workflow::ExecOptions { workers: 1 },
+            &workflow::ExecOptions { workers: 1, ..Default::default() },
         )
         .executed
     });
     let dag_par = median_ms(9, || {
         workflow::execute_with(
             &dag_workflow, &dag_registry, &busy, &dag_args,
-            &workflow::ExecOptions { workers: max_workers },
+            &workflow::ExecOptions { workers: max_workers, ..Default::default() },
         )
         .executed
     });
@@ -181,6 +189,32 @@ fn main() {
         "baseline_median_ms": dag_seq,
         "workers": max_workers,
         "speedup": dag_seq / dag_par,
+    }));
+
+    // --- PR 7: chaos pass-through tax ------------------------------------
+    // The same DAG workload routed through a ChaosRuntime with an empty
+    // fault plan: every invocation pays the plan lookup + counter bump
+    // and nothing else. The acceptance pins this at ≤2% over the bare
+    // runtime (`workflow/exec_dag` parallel arm above).
+    let chaotic = arachnet::ChaosRuntime::new(
+        benchkit::BusyRuntime { rounds: 400_000 },
+        arachnet::FaultPlan::empty(),
+    );
+    let dag_chaos = median_ms(9, || {
+        workflow::execute_with(
+            &dag_workflow, &dag_registry, &chaotic, &dag_args,
+            &workflow::ExecOptions { workers: max_workers, ..Default::default() },
+        )
+        .executed
+    });
+    benchmarks.push(json!({
+        "id": "engine/chaos_overhead",
+        "median_ms": dag_chaos,
+        "baseline": "the same DAG on the bare runtime (workflow/exec_dag)",
+        "baseline_median_ms": dag_par,
+        "workers": max_workers,
+        "overhead_pct": (dag_chaos / dag_par - 1.0) * 100.0,
+        "speedup": dag_par / dag_chaos,
     }));
 
     // --- PR 3 (rebaselined in PR 6): concurrent serving sessions ---------
@@ -335,8 +369,43 @@ fn main() {
         "speedup": mapping_cold / mapping_shared,
     }));
 
+    // --- PR 7: degraded serving ------------------------------------------
+    // The CS5 forensics query with `bgp.valley_violations` persistently
+    // failed: the run completes Degraded — the poisoned attribution and
+    // impact steps are skipped, so the degraded path is *cheaper* than
+    // the healthy one, never slower. The baseline serves the same query
+    // healthy (empty fault plan).
+    let cs5 = toolkit::scenarios::cs5_hijack_scenario();
+    let serve_cs5 = |plan: arachnet::FaultPlan| {
+        let engine = arachnet::Engine::new(
+            std::sync::Arc::clone(&fleet_model) as std::sync::Arc<dyn llm::LanguageModel>,
+            toolkit::catalog::standard_registry(),
+        )
+        .with_fault_plan(plan);
+        engine.register_scenario("cs5", cs5.clone());
+        let session = engine.session("cs5").expect("cs5 registered");
+        let scenario = session.scenario();
+        let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+        let context = toolkit::catalog::query_context(&scenario.world, scenario.now, horizon_days);
+        let run = session
+            .run(toolkit::scenarios::CS5_QUERY, &context)
+            .expect("query serves");
+        run.report.executed
+    };
+    let degraded_plan = arachnet::FaultPlan::new(7)
+        .with_fault("bgp.valley_violations", arachnet::FaultKind::Persistent);
+    let session_healthy = median_ms(5, || serve_cs5(arachnet::FaultPlan::empty()));
+    let session_degraded = median_ms(5, || serve_cs5(degraded_plan.clone()));
+    benchmarks.push(json!({
+        "id": "engine/degraded_session",
+        "median_ms": session_degraded,
+        "baseline": "the same CS5 forensics query served healthy (empty fault plan)",
+        "baseline_median_ms": session_healthy,
+        "speedup": session_healthy / session_degraded,
+    }));
+
     let report = json!({
-        "pr": 6,
+        "pr": 7,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

@@ -318,11 +318,11 @@ mod tests {
         let args = std::collections::BTreeMap::new();
         let one = workflow::execute_with(
             &wf, &registry, &runtime, &args,
-            &workflow::ExecOptions { workers: 1 },
+            &workflow::ExecOptions { workers: 1, ..Default::default() },
         );
         let many = workflow::execute_with(
             &wf, &registry, &runtime, &args,
-            &workflow::ExecOptions { workers: 8 },
+            &workflow::ExecOptions { workers: 8, ..Default::default() },
         );
         assert!(one.all_ok());
         assert_eq!(one, many);

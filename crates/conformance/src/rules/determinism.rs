@@ -8,8 +8,8 @@ use crate::Workspace;
 /// platforms and worker counts. Unordered containers are banned there
 /// outright — even an un-iterated `HashMap` invites the next editor to
 /// iterate it.
-pub const DETERMINISTIC_CRATES: [&str; 5] =
-    ["world", "scenario-forge", "bgp-sim", "workflow", "registry"];
+pub const DETERMINISTIC_CRATES: [&str; 6] =
+    ["world", "scenario-forge", "bgp-sim", "workflow", "registry", "chaos"];
 
 /// `no-unordered-iteration`: `HashMap`/`HashSet` in a deterministic
 /// crate. ROADMAP mandates `BTreeMap`/`BTreeSet` or sorted order.

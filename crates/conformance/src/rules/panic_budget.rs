@@ -14,7 +14,11 @@ use crate::Workspace;
 /// propagation in the executor, "validated at registration" lookups) —
 /// shrink them as sites are burned down; never raise them without a
 /// written justification in the PR.
-pub const BUDGETS: [(&str, usize); 3] = [
+pub const BUDGETS: [(&str, usize); 4] = [
+    // fault-injection runtime: zero panic sites today; headroom of 2 for
+    // genuine invariants only — injected faults must surface as
+    // ToolError, never as panics.
+    ("chaos", 2),
     // engine/session/orchestrator/ensemble serving core: the request
     // serializer, the ensemble scope-join slot, the curate-validated
     // registry lookup (PR 6 burned the partial_cmp unwraps down to
@@ -37,7 +41,7 @@ impl Rule for PanicBudget {
     }
 
     fn description(&self) -> &'static str {
-        "serving-path crates (core, workflow, toolkit) have per-crate ceilings on \
+        "serving-path crates (chaos, core, workflow, toolkit) have per-crate ceilings on \
          unwrap()/expect()/panic! sites; prefer PipelineError/ToolError propagation"
     }
 

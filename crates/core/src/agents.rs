@@ -44,7 +44,14 @@ impl std::fmt::Display for AgentError {
     }
 }
 
-impl std::error::Error for AgentError {}
+impl std::error::Error for AgentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AgentError::Model(e) => Some(e),
+            AgentError::Unparseable { .. } => None,
+        }
+    }
+}
 
 impl From<LlmError> for AgentError {
     fn from(e: LlmError) -> Self {

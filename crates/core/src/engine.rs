@@ -21,13 +21,16 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use chaos::{ChaosRuntime, FaultPlan};
 use llm::protocol::{QueryContext, WorkflowSummary};
 use llm::LanguageModel;
 use parking_lot::{Mutex, RwLock};
 use registry::Registry;
 use scenario_forge::{Family, FamilyParams, SharedWorldCache};
-use toolkit::{ArtifactStore, StandardRuntime};
-use workflow::{execute_with, ExecOptions, ExecutionReport, Value, Workflow};
+use toolkit::{ArtifactStore, ResilienceConfig, ResilientRuntime, StandardRuntime};
+use workflow::{
+    execute_with, ExecOptions, ExecutionReport, RetryPolicy, RunHealth, Value, Workflow,
+};
 use world::Scenario;
 
 use crate::agents::AgentConfig;
@@ -58,6 +61,13 @@ pub struct Engine {
     config: AgentConfig,
     max_repairs: usize,
     workers: usize,
+    retry: RetryPolicy,
+    /// Fault-injection plan applied to every session's runtime (testing
+    /// and chaos drills; `None` in production serving).
+    fault_plan: Option<FaultPlan>,
+    /// Circuit-breaker + fallback wiring applied to every session's
+    /// runtime.
+    resilience: Option<ResilienceConfig>,
     epoch: RwLock<Arc<RegistryEpoch>>,
     /// Serializes curation passes; the epoch swap itself is the only
     /// write-lock the readers ever contend with.
@@ -113,6 +123,9 @@ impl Engine {
             config: AgentConfig::default(),
             max_repairs: 2,
             workers: workflow::exec::default_workers(),
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+            resilience: None,
             epoch: RwLock::new(Arc::new(RegistryEpoch {
                 sequence: 0,
                 registry: Arc::new(registry),
@@ -126,6 +139,27 @@ impl Engine {
     /// Overrides the per-session executor worker count.
     pub fn with_exec_workers(mut self, workers: usize) -> Engine {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the retry budget sessions apply to transient tool failures.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Engine {
+        self.retry = retry;
+        self
+    }
+
+    /// Injects a deterministic fault plan into every session's runtime
+    /// (chaos drills and resilience tests).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Engine {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Wires circuit breakers and fallbacks into every session's runtime.
+    /// Fallback targets are validated against the pinned epoch's registry
+    /// when each session opens.
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Engine {
+        self.resilience = Some(config);
         self
     }
 
@@ -226,14 +260,24 @@ impl Engine {
         let slot = self.scenarios.lock().get(scenario_key).cloned().ok_or_else(|| {
             PipelineError::Invalid(format!("unknown scenario {scenario_key:?}"))
         })?;
+        let epoch = self.epoch();
+        // Epoch consistency: the resilience wiring must be valid for the
+        // registry snapshot this session pins — a curated swap that
+        // dropped a fallback target surfaces here, not mid-query.
+        if let Some(resilience) = &self.resilience {
+            resilience.validate(&epoch.registry).map_err(PipelineError::Invalid)?;
+        }
         Ok(Session {
             model: Arc::clone(&self.model),
             config: self.config.clone(),
             max_repairs: self.max_repairs,
-            epoch: self.epoch(),
+            epoch,
             scenario: slot.scenario,
             artifacts: slot.artifacts,
             workers: self.workers,
+            retry: self.retry,
+            fault_plan: self.fault_plan.clone(),
+            resilience: self.resilience.clone(),
         })
     }
 
@@ -266,6 +310,11 @@ impl Engine {
 pub struct SessionRun {
     pub solution: GeneratedSolution,
     pub report: ExecutionReport,
+    /// The run's health summary, lifted out of the report: `Ok`,
+    /// `Degraded { failed_steps }` (every failure traces to non-critical
+    /// enrichment — surviving outputs are trustworthy), or `Failed`.
+    /// Callers distinguish "detector unavailable" from "no anomaly".
+    pub health: RunHealth,
 }
 
 /// One serving session: an epoch-pinned registry snapshot plus a shared
@@ -280,6 +329,9 @@ pub struct Session {
     scenario: Arc<Scenario>,
     artifacts: Arc<ArtifactStore>,
     workers: usize,
+    retry: RetryPolicy,
+    fault_plan: Option<FaultPlan>,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl Session {
@@ -353,26 +405,45 @@ impl Session {
     }
 
     /// Executes a workflow against the session's scenario, shared
-    /// artifacts and pinned registry.
+    /// artifacts and pinned registry — through the session's resilience
+    /// stack: the standard runtime, optionally under the engine's fault
+    /// plan, optionally under circuit breakers/fallbacks (outermost, so
+    /// breakers see injected faults exactly as they would real ones).
     pub fn execute(
         &self,
         workflow: &Workflow,
         query_args: &BTreeMap<String, Value>,
     ) -> ExecutionReport {
-        execute_with(
-            workflow,
-            &self.epoch.registry,
-            &self.runtime(),
-            query_args,
-            &ExecOptions { workers: self.workers },
-        )
+        let registry = &self.epoch.registry;
+        let options = ExecOptions { workers: self.workers, retry: self.retry };
+        match (&self.fault_plan, &self.resilience) {
+            (None, None) => {
+                execute_with(workflow, registry, &self.runtime(), query_args, &options)
+            }
+            (Some(plan), None) => {
+                let rt = ChaosRuntime::new(self.runtime(), plan.clone());
+                execute_with(workflow, registry, &rt, query_args, &options)
+            }
+            (None, Some(config)) => {
+                let rt = ResilientRuntime::new(self.runtime(), config.clone());
+                execute_with(workflow, registry, &rt, query_args, &options)
+            }
+            (Some(plan), Some(config)) => {
+                let rt = ResilientRuntime::new(
+                    ChaosRuntime::new(self.runtime(), plan.clone()),
+                    config.clone(),
+                );
+                execute_with(workflow, registry, &rt, query_args, &options)
+            }
+        }
     }
 
     /// Generates and executes in one call — the serving hot path.
     pub fn run(&self, query: &str, context: &QueryContext) -> Result<SessionRun, PipelineError> {
         let solution = self.generate(query, context)?;
         let report = self.execute(&solution.workflow, &solution.query_args());
-        Ok(SessionRun { solution, report })
+        let health = report.health.clone();
+        Ok(SessionRun { solution, report, health })
     }
 }
 

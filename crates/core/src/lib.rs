@@ -34,6 +34,12 @@ pub use engine::{
 pub use ensemble::{EnsembleReport, FunctionAgreement, SolutionSource};
 pub use orchestrator::{ArachNet, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError};
 
+// Re-export the resilience surface (fault plans, breakers, run health)
+// so chaos drills against the engine need one import.
+pub use chaos::{ChaosRuntime, ChaosStats, FaultKind, FaultPlan};
+pub use toolkit::{BreakerConfig, ResilienceConfig, ResilientRuntime};
+pub use workflow::{RetryPolicy, RunHealth};
+
 // Re-export the protocol so downstream users see one coherent API.
 pub use llm::protocol;
 pub use llm::{DeterministicExpertModel, LanguageModel};

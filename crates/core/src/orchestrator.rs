@@ -56,7 +56,14 @@ impl std::fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Agent(e) => Some(e),
+            PipelineError::Validation { .. } | PipelineError::Invalid(_) => None,
+        }
+    }
+}
 
 impl From<AgentError> for PipelineError {
     fn from(e: AgentError) -> Self {
@@ -231,7 +238,7 @@ pub(crate) fn run_pipeline(
     let (workflow, implementation) = loop {
         let implementation =
             weaver.run(&decomposition, &architecture, registry, feedback.clone())?;
-        let wf = to_workflow(query, &decomposition, &implementation);
+        let wf = to_workflow(query, &decomposition, &implementation, registry);
         let errors = check(&wf, registry);
         if errors.is_empty() {
             break (wf, implementation);
@@ -337,14 +344,24 @@ pub(crate) fn run_curation(
 }
 
 /// Converts an implementation plan into the executable workflow IR.
+/// Steps whose registry entry is tagged `non-critical` (enrichment
+/// detectors) are marked accordingly, so their failures degrade the run
+/// instead of failing it.
 fn to_workflow(
     query: &str,
     decomposition: &Decomposition,
     plan: &ImplementationPlan,
+    registry: &Registry,
 ) -> Workflow {
     let mut wf = Workflow::new(&plan.workflow_id, query);
     for planned in &plan.steps {
         let mut step = Step::new(&planned.id, &planned.function).because(&planned.rationale);
+        let non_critical = registry
+            .get(&step.function)
+            .is_some_and(|entry| entry.tags.iter().any(|t| t == "non-critical"));
+        if non_critical {
+            step = step.non_critical();
+        }
         for (param, binding) in &planned.bindings {
             let b = match binding {
                 PlannedBinding::FromStep(sid) => Binding::Step(workflow::StepId(sid.clone())),

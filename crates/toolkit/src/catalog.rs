@@ -171,7 +171,7 @@ pub fn standard_registry() -> Registry {
     )
     .with_cost(CostClass::Moderate)
     .with_reliability(0.9)
-    .with_tags(&["bgp", "anomaly", "burst", "churn"]));
+    .with_tags(&["bgp", "anomaly", "burst", "churn", "non-critical"]));
 
     add(CapabilityEntry::new(
         "bgp.detect_moas",
@@ -182,7 +182,7 @@ pub fn standard_registry() -> Registry {
     )
     .with_cost(CostClass::Moderate)
     .with_reliability(0.9)
-    .with_tags(&["bgp", "moas", "hijack", "origin", "control-plane"])
+    .with_tags(&["bgp", "moas", "hijack", "origin", "control-plane", "non-critical"])
     .with_constraint("needs the baseline RIB; the stream alone misses silent vantage points"));
 
     add(CapabilityEntry::new(
@@ -194,7 +194,7 @@ pub fn standard_registry() -> Registry {
     )
     .with_cost(CostClass::Moderate)
     .with_reliability(0.9)
-    .with_tags(&["bgp", "valley", "export", "control-plane"])
+    .with_tags(&["bgp", "valley", "export", "control-plane", "non-critical"])
     .with_constraint("paths are checked against the scenario's reference topology"));
 
     add(CapabilityEntry::new(
@@ -245,7 +245,7 @@ pub fn standard_registry() -> Registry {
     )
     .with_cost(CostClass::Moderate)
     .with_reliability(0.85)
-    .with_tags(&["anomaly", "latency", "baseline", "statistics"])
+    .with_tags(&["anomaly", "latency", "baseline", "statistics", "non-critical"])
     .with_constraint("needs several baseline buckets before the anomaly"));
 
     // --- Utility (integration / translation layer) ---------------------------

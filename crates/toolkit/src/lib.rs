@@ -22,10 +22,14 @@ pub mod analysis;
 pub mod catalog;
 pub mod data;
 pub mod disasters;
+pub mod resilience;
 pub mod runtime;
 pub mod scenarios;
 
 pub use catalog::{query_context, standard_registry};
+pub use resilience::{
+    BreakerConfig, BreakerPhase, ResilienceConfig, ResilienceStats, ResilientRuntime,
+};
 pub use runtime::{ArtifactStore, StandardRuntime};
 
 #[cfg(test)]

@@ -1,0 +1,403 @@
+//! Resilient serving wrappers: per-function circuit breakers and
+//! fallback bindings.
+//!
+//! A [`ResilientRuntime`] wraps any [`ToolRuntime`] (typically the
+//! [`crate::StandardRuntime`], optionally under a chaos injector) and
+//! adds two production-serving behaviors:
+//!
+//! * **circuit breaking** — after `trip_after` consecutive
+//!   [`ToolError::Failed`] results from one function, the breaker opens
+//!   and subsequent invocations are shed without touching the tool for
+//!   `cooldown_invocations` calls; the next call after the cooldown
+//!   half-opens the circuit and probes the primary once, closing on
+//!   success and re-opening on failure. All state is *counter-based* —
+//!   trips, cooldowns and probes advance per invocation, never per
+//!   wall-clock second, so breaker behavior is reproducible.
+//! * **fallbacks** — a function id can be bound to a substitute (e.g.
+//!   `bgp.updates` → `bgp.updates_reference`): when the primary fails or
+//!   its circuit is open, the substitute is invoked instead, and the
+//!   step carries the substitute's output.
+//!
+//! Breaker state is per-runtime, and runtimes are built per
+//! epoch-pinned session (see `arachnet::Session`): a curated registry
+//! swap never leaks breaker counters across epochs, because the new
+//! epoch's sessions start with fresh wrappers.
+//!
+//! Determinism note: counters are shared across worker threads, so the
+//! *sequence* of breaker transitions is deterministic for sequential
+//! execution (workers = 1) or per-function serialized call patterns.
+//! Chaos-suite determinism pins the retry/degradation layers; breaker
+//! trip sequences are pinned by their own sequential tests.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use registry::{FunctionId, Registry};
+use workflow::exec::{InvokeContext, ToolError, ToolRuntime, Value};
+
+/// Counter-based breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive `Failed` results that open the circuit.
+    pub trip_after: u32,
+    /// Invocations shed while open before the circuit half-opens.
+    pub cooldown_invocations: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 3, cooldown_invocations: 5 }
+    }
+}
+
+/// Full resilience wiring for a runtime: breaker tuning plus fallback
+/// bindings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    pub breaker: BreakerConfig,
+    /// primary function id → substitute invoked when the primary fails
+    /// or its circuit is open.
+    pub fallbacks: BTreeMap<FunctionId, FunctionId>,
+}
+
+impl ResilienceConfig {
+    pub fn new(breaker: BreakerConfig) -> ResilienceConfig {
+        ResilienceConfig { breaker, fallbacks: BTreeMap::new() }
+    }
+
+    /// Binds a fallback function.
+    pub fn with_fallback(mut self, primary: &str, substitute: &str) -> ResilienceConfig {
+        self.fallbacks.insert(FunctionId::from(primary), FunctionId::from(substitute));
+        self
+    }
+
+    /// Checks every fallback target against a registry epoch, so a
+    /// curated registry swap cannot leave bindings pointing at functions
+    /// the epoch no longer serves.
+    pub fn validate(&self, registry: &Registry) -> Result<(), String> {
+        for (primary, substitute) in &self.fallbacks {
+            if registry.get(substitute).is_none() {
+                return Err(format!(
+                    "fallback for {primary} targets {substitute}, which this registry epoch does not define"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Observable breaker phase of one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Internal per-function breaker state.
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { remaining_cooldown: u32 },
+    HalfOpen,
+}
+
+/// Order-independent counters of what the resilience layer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Invocations shed because a circuit was open.
+    pub shed: u64,
+    /// Fallback invocations (after a primary failure or while open).
+    pub fallback_invocations: u64,
+    /// Circuit-open transitions.
+    pub trips: u64,
+}
+
+/// The wrapper. See the module docs for semantics.
+pub struct ResilientRuntime<R> {
+    inner: R,
+    config: ResilienceConfig,
+    breakers: Mutex<BTreeMap<FunctionId, BreakerState>>,
+    stats: Mutex<ResilienceStats>,
+}
+
+impl<R: ToolRuntime> ResilientRuntime<R> {
+    pub fn new(inner: R, config: ResilienceConfig) -> ResilientRuntime<R> {
+        ResilientRuntime {
+            inner,
+            config,
+            breakers: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(ResilienceStats::default()),
+        }
+    }
+
+    /// The wrapped runtime.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// A snapshot of the resilience counters.
+    pub fn stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// The observable breaker phase of a function (Closed when never
+    /// invoked).
+    pub fn breaker_phase(&self, function: &FunctionId) -> BreakerPhase {
+        match self.breakers.lock().get(function) {
+            None | Some(BreakerState::Closed { .. }) => BreakerPhase::Closed,
+            Some(BreakerState::Open { .. }) => BreakerPhase::Open,
+            Some(BreakerState::HalfOpen) => BreakerPhase::HalfOpen,
+        }
+    }
+
+    /// Decides, atomically, whether this invocation may reach the
+    /// primary. Returns `false` when the circuit is open (the call must
+    /// be shed), advancing the cooldown counter as a side effect.
+    fn admit(&self, function: &FunctionId) -> bool {
+        let mut breakers = self.breakers.lock();
+        let state = breakers
+            .entry(function.clone())
+            .or_insert(BreakerState::Closed { consecutive_failures: 0 });
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { remaining_cooldown } => {
+                if remaining_cooldown <= 1 {
+                    *state = BreakerState::HalfOpen;
+                } else {
+                    *state = BreakerState::Open { remaining_cooldown: remaining_cooldown - 1 };
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a primary outcome and advances the breaker.
+    fn record(&self, function: &FunctionId, failed: bool) {
+        let open = BreakerState::Open {
+            remaining_cooldown: self.config.breaker.cooldown_invocations.max(1),
+        };
+        let mut tripped = false;
+        {
+            let mut breakers = self.breakers.lock();
+            let state = breakers
+                .entry(function.clone())
+                .or_insert(BreakerState::Closed { consecutive_failures: 0 });
+            *state = match (*state, failed) {
+                (BreakerState::Closed { consecutive_failures }, true) => {
+                    if consecutive_failures + 1 >= self.config.breaker.trip_after {
+                        tripped = true;
+                        open
+                    } else {
+                        BreakerState::Closed { consecutive_failures: consecutive_failures + 1 }
+                    }
+                }
+                (BreakerState::HalfOpen, true) => {
+                    tripped = true;
+                    open
+                }
+                (_, false) => BreakerState::Closed { consecutive_failures: 0 },
+                (still_open @ BreakerState::Open { .. }, true) => still_open,
+            };
+        }
+        if tripped {
+            self.stats.lock().trips += 1;
+        }
+    }
+
+    /// The shared serving path: breaker admission, primary invocation,
+    /// fallback substitution.
+    fn dispatch(
+        &self,
+        function: &FunctionId,
+        call: impl Fn(&R, &FunctionId) -> Result<Value, ToolError>,
+    ) -> Result<Value, ToolError> {
+        let fallback = self.config.fallbacks.get(function);
+        if !self.admit(function) {
+            self.stats.lock().shed += 1;
+            if let Some(substitute) = fallback {
+                self.stats.lock().fallback_invocations += 1;
+                return call(&self.inner, substitute);
+            }
+            return Err(ToolError::Failed {
+                function: function.clone(),
+                message: format!(
+                    "circuit open after {} consecutive failures; call shed",
+                    self.config.breaker.trip_after
+                ),
+                // The circuit re-closes after the cooldown, so shedding
+                // is transient by construction.
+                transient: true,
+            });
+        }
+        let primary = call(&self.inner, function);
+        let failed = matches!(primary, Err(ToolError::Failed { .. }));
+        self.record(function, failed);
+        match (primary, fallback) {
+            (Err(ToolError::Failed { .. }), Some(substitute)) => {
+                self.stats.lock().fallback_invocations += 1;
+                call(&self.inner, substitute)
+            }
+            (other, _) => other,
+        }
+    }
+}
+
+impl<R: ToolRuntime> ToolRuntime for ResilientRuntime<R> {
+    fn invoke(
+        &self,
+        function: &FunctionId,
+        args: &BTreeMap<String, Value>,
+    ) -> Result<Value, ToolError> {
+        self.dispatch(function, |inner, f| inner.invoke(f, args))
+    }
+
+    fn invoke_with(
+        &self,
+        ctx: &InvokeContext<'_>,
+        function: &FunctionId,
+        args: &BTreeMap<String, Value>,
+    ) -> Result<Value, ToolError> {
+        self.dispatch(function, |inner, f| inner.invoke_with(ctx, f, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry::DataFormat;
+
+    /// A runtime with one failing primary and one healthy substitute.
+    struct SplitRuntime;
+
+    impl ToolRuntime for SplitRuntime {
+        fn invoke(
+            &self,
+            function: &FunctionId,
+            _args: &BTreeMap<String, Value>,
+        ) -> Result<Value, ToolError> {
+            match function.0.as_str() {
+                "t.flaky" => Err(ToolError::Failed {
+                    function: function.clone(),
+                    message: "down".into(),
+                    transient: true,
+                }),
+                other => Ok(Value::new(DataFormat::Table, serde_json::json!([other]))),
+            }
+        }
+    }
+
+    fn invoke(rt: &impl ToolRuntime, f: &str) -> Result<Value, ToolError> {
+        rt.invoke(&FunctionId::from(f), &BTreeMap::new())
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_half_opens() {
+        let config = ResilienceConfig::new(BreakerConfig { trip_after: 3, cooldown_invocations: 2 });
+        let rt = ResilientRuntime::new(SplitRuntime, config);
+        let f = FunctionId::from("t.flaky");
+        // Three primary failures trip the circuit.
+        for _ in 0..3 {
+            assert!(invoke(&rt, "t.flaky").is_err());
+        }
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::Open);
+        assert_eq!(rt.stats().trips, 1);
+        // Two shed invocations drain the cooldown...
+        assert!(invoke(&rt, "t.flaky").is_err());
+        assert!(invoke(&rt, "t.flaky").is_err());
+        assert_eq!(rt.stats().shed, 2);
+        // ...then the next call half-opens and probes the (still broken)
+        // primary, re-opening the circuit.
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::HalfOpen);
+        assert!(invoke(&rt, "t.flaky").is_err());
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::Open);
+        assert_eq!(rt.stats().trips, 2);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_circuit() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        struct Recovering {
+            healthy: AtomicBool,
+        }
+        impl ToolRuntime for Recovering {
+            fn invoke(
+                &self,
+                function: &FunctionId,
+                _args: &BTreeMap<String, Value>,
+            ) -> Result<Value, ToolError> {
+                if self.healthy.load(Ordering::SeqCst) {
+                    Ok(Value::new(DataFormat::Scalar, serde_json::json!(1)))
+                } else {
+                    Err(ToolError::Failed {
+                        function: function.clone(),
+                        message: "down".into(),
+                        transient: true,
+                    })
+                }
+            }
+        }
+        let config = ResilienceConfig::new(BreakerConfig { trip_after: 2, cooldown_invocations: 1 });
+        let rt = ResilientRuntime::new(Recovering { healthy: AtomicBool::new(false) }, config);
+        let f = FunctionId::from("t.svc");
+        assert!(invoke(&rt, "t.svc").is_err());
+        assert!(invoke(&rt, "t.svc").is_err());
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::Open);
+        // Service recovers while the circuit is open.
+        rt.inner().healthy.store(true, Ordering::SeqCst);
+        assert!(invoke(&rt, "t.svc").is_err(), "cooldown invocation is still shed");
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::HalfOpen);
+        assert!(invoke(&rt, "t.svc").is_ok(), "half-open probe reaches the primary");
+        assert_eq!(rt.breaker_phase(&f), BreakerPhase::Closed);
+    }
+
+    #[test]
+    fn fallback_substitutes_on_failure_and_while_open() {
+        let config = ResilienceConfig::new(BreakerConfig { trip_after: 2, cooldown_invocations: 8 })
+            .with_fallback("t.flaky", "t.reference");
+        let rt = ResilientRuntime::new(SplitRuntime, config);
+        // Primary fails → fallback output is served, call still counts
+        // toward the trip.
+        let first = invoke(&rt, "t.flaky").unwrap();
+        assert_eq!(first.json(), &serde_json::json!(["t.reference"]));
+        let second = invoke(&rt, "t.flaky").unwrap();
+        assert_eq!(second.json(), &serde_json::json!(["t.reference"]));
+        assert_eq!(rt.breaker_phase(&FunctionId::from("t.flaky")), BreakerPhase::Open);
+        // While open, the primary is never touched but the fallback still
+        // serves.
+        let shed = invoke(&rt, "t.flaky").unwrap();
+        assert_eq!(shed.json(), &serde_json::json!(["t.reference"]));
+        assert_eq!(rt.stats().shed, 1);
+        assert_eq!(rt.stats().fallback_invocations, 3);
+    }
+
+    #[test]
+    fn non_failure_errors_do_not_trip_the_breaker() {
+        struct BadArgs;
+        impl ToolRuntime for BadArgs {
+            fn invoke(
+                &self,
+                function: &FunctionId,
+                _args: &BTreeMap<String, Value>,
+            ) -> Result<Value, ToolError> {
+                Err(ToolError::BadArgument { function: function.clone(), message: "no".into() })
+            }
+        }
+        let config = ResilienceConfig::new(BreakerConfig { trip_after: 1, cooldown_invocations: 1 });
+        let rt = ResilientRuntime::new(BadArgs, config);
+        for _ in 0..4 {
+            assert!(matches!(invoke(&rt, "t.x"), Err(ToolError::BadArgument { .. })));
+        }
+        assert_eq!(rt.breaker_phase(&FunctionId::from("t.x")), BreakerPhase::Closed);
+        assert_eq!(rt.stats().trips, 0);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_fallback_targets() {
+        let registry = crate::standard_registry();
+        let ok = ResilienceConfig::default().with_fallback("bgp.updates", "bgp.detect_moas");
+        assert!(ok.validate(&registry).is_ok());
+        let bad = ResilienceConfig::default().with_fallback("bgp.updates", "no.such_function");
+        assert!(bad.validate(&registry).is_err());
+    }
+}

@@ -252,6 +252,7 @@ fn view_of<'a, T: serde::de::DeserializeOwned + 'static>(
     tv.view().map_err(|e| ToolError::Failed {
         function: FunctionId::from("internal.cache"),
         message: format!("{what}: {e}"),
+        transient: false,
     })
 }
 
@@ -313,6 +314,7 @@ impl ToolRuntime for StandardRuntime {
                 let cable = world.cable_by_name(&name).ok_or_else(|| ToolError::Failed {
                     function: function.clone(),
                     message: format!("cable {name:?} not found in the cartography catalog"),
+                    transient: false,
                 })?;
                 out(F::CableRef, CableRefData { id: cable.id.0, name: cable.name.clone() })
             }
@@ -477,6 +479,7 @@ impl ToolRuntime for StandardRuntime {
                     return Err(ToolError::Failed {
                         function: function.clone(),
                         message: format!("no hazard zones match kinds {kinds:?}"),
+                        transient: false,
                     });
                 }
                 let event = FailureEvent::Compound(
@@ -499,6 +502,7 @@ impl ToolRuntime for StandardRuntime {
                     return Err(ToolError::Failed {
                         function: function.clone(),
                         message: format!("no cable systems connect {src} and {dst}"),
+                        transient: false,
                     });
                 }
                 let event = FailureEvent::Compound(
@@ -975,6 +979,7 @@ mod tests {
             Err(ToolError::Failed {
                 function: FunctionId::from("t.flaky"),
                 message: "transient".into(),
+                transient: true,
             })
         });
         assert!(err.is_err());

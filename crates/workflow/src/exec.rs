@@ -41,8 +41,11 @@ pub enum ToolError {
     Unbound(FunctionId),
     /// Argument missing or of the wrong shape.
     BadArgument { function: FunctionId, message: String },
-    /// The tool itself failed.
-    Failed { function: FunctionId, message: String },
+    /// The tool itself failed. `transient` classifies the failure for the
+    /// retry machinery: transient failures (timeouts, momentary
+    /// unavailability) are worth re-attempting under a [`RetryPolicy`];
+    /// persistent ones are not.
+    Failed { function: FunctionId, message: String, transient: bool },
 }
 
 impl std::fmt::Display for ToolError {
@@ -52,12 +55,26 @@ impl std::fmt::Display for ToolError {
             ToolError::BadArgument { function, message } => {
                 write!(f, "{function}: bad argument: {message}")
             }
-            ToolError::Failed { function, message } => write!(f, "{function} failed: {message}"),
+            ToolError::Failed { function, message, .. } => {
+                write!(f, "{function} failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ToolError {}
+
+/// Per-invocation context the executor hands to the runtime: which step is
+/// calling and which retry attempt this is. Fault injectors key on it so
+/// injected faults are a pure function of the workflow shape — never of
+/// worker interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeContext<'a> {
+    /// The workflow step being executed.
+    pub step: &'a StepId,
+    /// Zero-based retry attempt (0 = first try).
+    pub attempt: u32,
+}
 
 /// The binding from registry functions to actual tool implementations.
 ///
@@ -71,6 +88,23 @@ pub trait ToolRuntime: Sync {
         function: &FunctionId,
         args: &BTreeMap<String, Value>,
     ) -> Result<Value, ToolError>;
+
+    /// Invokes `function` with the calling step's [`InvokeContext`].
+    ///
+    /// The executor always calls this entry point; the default forwards to
+    /// [`ToolRuntime::invoke`], so ordinary runtimes implement only that.
+    /// Wrappers that must behave deterministically under parallel
+    /// execution (chaos injectors, circuit breakers) override this and key
+    /// their decisions on `(step, attempt)` instead of arrival order.
+    fn invoke_with(
+        &self,
+        ctx: &InvokeContext<'_>,
+        function: &FunctionId,
+        args: &BTreeMap<String, Value>,
+    ) -> Result<Value, ToolError> {
+        let _ = ctx;
+        self.invoke(function, args)
+    }
 }
 
 /// Outcome of one step.
@@ -78,8 +112,11 @@ pub trait ToolRuntime: Sync {
 pub enum StepResult {
     Ok(Value),
     Failed(ToolError),
-    /// Skipped because a dependency failed.
-    Poisoned { failed_dependency: StepId },
+    /// Skipped because upstream steps failed. `failed_dependencies` holds
+    /// *every* root-cause step id (sorted, deduplicated): direct
+    /// dependencies that failed plus the transitive roots behind poisoned
+    /// dependencies, so degraded reports attribute causes completely.
+    Poisoned { failed_dependencies: Vec<StepId> },
 }
 
 impl StepResult {
@@ -111,6 +148,41 @@ pub struct QaFinding {
     pub message: String,
 }
 
+/// Overall health of one execution, summarizing how failures relate to
+/// step criticality (see [`crate::Step::critical`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunHealth {
+    /// Every step succeeded.
+    Ok,
+    /// Some steps failed or were poisoned, but every failure traces to a
+    /// non-critical step: the surviving outputs are trustworthy, the
+    /// report merely lacks enrichment.
+    Degraded { failed_steps: Vec<StepId> },
+    /// At least one critical step failed (or a poisoning root cannot be
+    /// attributed to a known non-critical failure).
+    Failed { failed_steps: Vec<StepId> },
+}
+
+impl RunHealth {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunHealth::Ok)
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunHealth::Degraded { .. })
+    }
+
+    /// The failed step ids (sorted), empty when healthy.
+    pub fn failed_steps(&self) -> &[StepId] {
+        match self {
+            RunHealth::Ok => &[],
+            RunHealth::Degraded { failed_steps } | RunHealth::Failed { failed_steps } => {
+                failed_steps
+            }
+        }
+    }
+}
+
 /// The full execution report. Deterministic for a given workflow, runtime
 /// and argument set — independent of the executor's worker count.
 #[derive(Debug, PartialEq)]
@@ -126,6 +198,12 @@ pub struct ExecutionReport {
     pub executed: usize,
     pub failed: usize,
     pub poisoned: usize,
+    /// Total retries spent across all steps.
+    pub retries: usize,
+    /// Total logical backoff ticks accumulated by those retries.
+    pub backoff_ticks: u64,
+    /// Health classification of the run.
+    pub health: RunHealth,
 }
 
 impl ExecutionReport {
@@ -144,17 +222,50 @@ impl ExecutionReport {
     }
 }
 
+/// Budgeted retries with deterministic logical backoff.
+///
+/// Only [`ToolError::Failed`] with `transient: true` is retried. Backoff
+/// is counted in *logical ticks* — `base << attempt` — never wall-clock
+/// sleeps, so retried runs stay bit-identical at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 disables retries).
+    pub max_retries: u32,
+    /// Base of the exponential logical backoff, in ticks.
+    pub backoff_base_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base_ticks: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` extra attempts.
+    pub fn with_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy { max_retries, ..RetryPolicy::default() }
+    }
+
+    /// Logical ticks charged before re-running attempt `attempt + 1`.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        self.backoff_base_ticks << attempt.min(16)
+    }
+}
+
 /// Executor tuning.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for independent steps. The report is identical for
     /// any value; `1` forces sequential execution.
     pub workers: usize,
+    /// Retry budget for transient tool failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { workers: default_workers() }
+        ExecOptions { workers: default_workers(), retry: RetryPolicy::default() }
     }
 }
 
@@ -187,6 +298,10 @@ struct StepOutcome {
     /// Whether the tool was actually invoked (poisoned steps and steps
     /// with missing query arguments never reach the runtime).
     invoked: bool,
+    /// Retries spent on this step.
+    retries: usize,
+    /// Logical backoff ticks those retries accumulated.
+    backoff_ticks: u64,
 }
 
 /// Scheduler state shared by the worker pool.
@@ -273,7 +388,7 @@ pub fn execute_with(
         };
 
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_step(registry, runtime, query_args, steps, &resolved[i], i, &outcomes)
+            run_step(registry, runtime, query_args, steps, &resolved[i], i, &outcomes, &options.retry)
         }))
         .unwrap_or_else(|payload| {
             let mut first = panicked.lock().expect("panic slot");
@@ -284,9 +399,12 @@ pub fn execute_with(
                 result: StepResult::Failed(ToolError::Failed {
                     function: steps[i].function.clone(),
                     message: "tool panicked".to_string(),
+                    transient: false,
                 }),
                 qa: Vec::new(),
                 invoked: true,
+                retries: 0,
+                backoff_ticks: 0,
             }
         });
         outcomes[i].set(outcome).unwrap_or_else(|_| panic!("step {i} ran twice"));
@@ -324,8 +442,10 @@ pub fn execute_with(
     // duplicate ids overwrite earlier, as the list-order executor did), QA
     // stitched in workflow list order, counters over step instances.
     let mut results: BTreeMap<StepId, StepResult> = BTreeMap::new();
+    let mut critical: BTreeMap<&StepId, bool> = BTreeMap::new();
     let mut qa: Vec<QaFinding> = Vec::new();
     let (mut executed, mut failed, mut poisoned) = (0usize, 0usize, 0usize);
+    let (mut retries, mut backoff_ticks) = (0usize, 0u64);
     for (i, step) in steps.iter().enumerate() {
         let outcome = outcomes[i].get().expect("all steps completed");
         if outcome.invoked {
@@ -336,8 +456,11 @@ pub fn execute_with(
             StepResult::Poisoned { .. } => poisoned += 1,
             StepResult::Ok(_) => {}
         }
+        retries += outcome.retries;
+        backoff_ticks += outcome.backoff_ticks;
         qa.extend(outcome.qa.iter().cloned());
         results.insert(step.id.clone(), outcome.result.clone());
+        critical.insert(&step.id, step.critical);
     }
 
     let outputs: BTreeMap<StepId, Value> = workflow
@@ -346,12 +469,51 @@ pub fn execute_with(
         .filter_map(|id| results.get(id).and_then(|r| r.value()).map(|v| (id.clone(), v.clone())))
         .collect();
 
-    ExecutionReport { results, outputs, qa, executed, failed, poisoned }
+    let health = compute_health(&results, &critical);
+
+    ExecutionReport { results, outputs, qa, executed, failed, poisoned, retries, backoff_ticks, health }
+}
+
+/// Classifies run health from the canonical results: Ok when nothing
+/// failed; Degraded when every failed step is non-critical and every
+/// poisoning root traces to one of those non-critical failures; Failed
+/// otherwise (including dangling-reference poisonings with no attributable
+/// root failure).
+fn compute_health(
+    results: &BTreeMap<StepId, StepResult>,
+    critical: &BTreeMap<&StepId, bool>,
+) -> RunHealth {
+    let failed_steps: Vec<StepId> = results
+        .iter()
+        .filter(|(_, r)| matches!(r, StepResult::Failed(_)))
+        .map(|(id, _)| id.clone())
+        .collect();
+    let poison_roots: Vec<&StepId> = results
+        .values()
+        .filter_map(|r| match r {
+            StepResult::Poisoned { failed_dependencies } => Some(failed_dependencies.iter()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    if failed_steps.is_empty() && poison_roots.is_empty() {
+        return RunHealth::Ok;
+    }
+    let degradable_failure = |id: &StepId| critical.get(id) == Some(&false);
+    let roots_attributed = poison_roots
+        .iter()
+        .all(|root| failed_steps.binary_search(root).is_ok() && degradable_failure(root));
+    if failed_steps.iter().all(degradable_failure) && roots_attributed {
+        RunHealth::Degraded { failed_steps }
+    } else {
+        RunHealth::Failed { failed_steps }
+    }
 }
 
 /// Runs one step: binding resolution (first unsatisfiable binding in
 /// parameter-name order wins, matching the list-order executor), tool
-/// invocation, woven-in QA.
+/// invocation with budgeted retries, woven-in QA.
+#[allow(clippy::too_many_arguments)]
 fn run_step(
     registry: &Registry,
     runtime: &dyn ToolRuntime,
@@ -360,12 +522,17 @@ fn run_step(
     resolved_targets: &BTreeMap<&String, Option<usize>>,
     index: usize,
     outcomes: &[OnceLock<StepOutcome>],
+    retry: &RetryPolicy,
 ) -> StepOutcome {
     let step = &steps[index];
     let mut qa: Vec<QaFinding> = Vec::new();
 
-    // Resolve bindings.
+    // Resolve bindings. Once a poisoned binding is seen, the remaining
+    // bindings are scanned only to widen the root-cause list — they can
+    // no longer change the step's category (matching the list-order
+    // executor, where the first unsatisfiable binding decided it).
     let mut args: BTreeMap<String, Value> = BTreeMap::new();
+    let mut poison_roots: Vec<StepId> = Vec::new();
     for (name, binding) in &step.inputs {
         match binding {
             Binding::Const { format, value } => {
@@ -375,7 +542,7 @@ fn run_step(
                 Some(v) => {
                     args.insert(name.clone(), v.clone());
                 }
-                None => {
+                None if poison_roots.is_empty() => {
                     qa.push(QaFinding {
                         step: step.id.clone(),
                         severity: QaSeverity::Error,
@@ -388,15 +555,16 @@ fn run_step(
                         }),
                         qa,
                         invoked: false,
+                        retries: 0,
+                        backoff_ticks: 0,
                     };
                 }
+                None => {}
             },
             Binding::Step(target) => {
                 // The scheduler waited on exactly this index (same map).
-                let resolved = resolved_targets
-                    .get(name)
-                    .copied()
-                    .flatten()
+                let resolved_index = resolved_targets.get(name).copied().flatten();
+                let resolved = resolved_index
                     .and_then(|j| outcomes[j].get())
                     .and_then(|o| o.result.value());
                 match resolved {
@@ -404,19 +572,75 @@ fn run_step(
                         args.insert(name.clone(), v.clone());
                     }
                     None => {
-                        return StepOutcome {
-                            result: StepResult::Poisoned { failed_dependency: target.clone() },
-                            qa,
-                            invoked: false,
-                        };
+                        // Attribute the root cause: a failed dependency
+                        // contributes its own id, a poisoned one its
+                        // (already transitive) roots, and an unresolvable
+                        // target — forward or dangling reference — the
+                        // referenced id itself.
+                        let mut attributed = false;
+                        if let Some(outcome) = resolved_index.and_then(|j| outcomes[j].get()) {
+                            match &outcome.result {
+                                StepResult::Failed(_) => {
+                                    let j = resolved_index.unwrap_or(index);
+                                    poison_roots.push(steps[j].id.clone());
+                                    attributed = true;
+                                }
+                                StepResult::Poisoned { failed_dependencies } => {
+                                    poison_roots.extend(failed_dependencies.iter().cloned());
+                                    attributed = true;
+                                }
+                                StepResult::Ok(_) => {}
+                            }
+                        }
+                        if !attributed {
+                            poison_roots.push(target.clone());
+                        }
                     }
                 }
             }
         }
     }
+    if !poison_roots.is_empty() {
+        poison_roots.sort();
+        poison_roots.dedup();
+        return StepOutcome {
+            result: StepResult::Poisoned { failed_dependencies: poison_roots },
+            qa,
+            invoked: false,
+            retries: 0,
+            backoff_ticks: 0,
+        };
+    }
 
-    // Invoke (composites expand to their sequence).
-    match invoke_entry(registry, runtime, &step.function, &args) {
+    // Invoke (composites expand to their sequence), retrying transient
+    // failures within the policy's budget. Backoff is logical ticks, so
+    // the loop — and therefore the report — is deterministic.
+    let mut attempt: u32 = 0;
+    let mut backoff_ticks: u64 = 0;
+    let invoked = loop {
+        let ctx = InvokeContext { step: &step.id, attempt };
+        match invoke_entry(registry, runtime, &ctx, &step.function, &args) {
+            Err(ToolError::Failed { function, message, transient: true })
+                if attempt < retry.max_retries =>
+            {
+                let ticks = retry.backoff_ticks(attempt);
+                backoff_ticks += ticks;
+                qa.push(QaFinding {
+                    step: step.id.clone(),
+                    severity: QaSeverity::Info,
+                    message: format!(
+                        "attempt {}: {function} failed transiently ({message}); retrying after {ticks} logical tick(s)",
+                        attempt + 1
+                    ),
+                });
+                attempt += 1;
+            }
+            other => break other,
+        }
+    };
+    let retries = attempt as usize;
+
+    match invoked {
         Ok(value) => {
             // Woven-in QA: declared format check + emptiness sanity.
             if let Some(entry) = registry.get(&step.function) {
@@ -438,7 +662,7 @@ fn run_step(
                     message: "step produced an empty result".to_string(),
                 });
             }
-            StepOutcome { result: StepResult::Ok(value), qa, invoked: true }
+            StepOutcome { result: StepResult::Ok(value), qa, invoked: true, retries, backoff_ticks }
         }
         Err(e) => {
             qa.push(QaFinding {
@@ -446,17 +670,19 @@ fn run_step(
                 severity: QaSeverity::Error,
                 message: e.to_string(),
             });
-            StepOutcome { result: StepResult::Failed(e), qa, invoked: true }
+            StepOutcome { result: StepResult::Failed(e), qa, invoked: true, retries, backoff_ticks }
         }
     }
 }
 
 /// Invokes a function, expanding curator-mined composites: the sequence
 /// runs in order, each function's output feeding the next one's first
-/// required parameter (remaining arguments pass through by name).
+/// required parameter (remaining arguments pass through by name). The
+/// calling step's [`InvokeContext`] flows through to every leaf call.
 fn invoke_entry(
     registry: &Registry,
     runtime: &dyn ToolRuntime,
+    ctx: &InvokeContext<'_>,
     function: &FunctionId,
     args: &BTreeMap<String, Value>,
 ) -> Result<Value, ToolError> {
@@ -471,14 +697,15 @@ fn invoke_entry(
                         call_args.insert(first_req.name.clone(), prev.clone());
                     }
                 }
-                carried = Some(invoke_entry(registry, runtime, fid, &call_args)?);
+                carried = Some(invoke_entry(registry, runtime, ctx, fid, &call_args)?);
             }
             carried.ok_or_else(|| ToolError::Failed {
                 function: function.clone(),
                 message: "composite with empty sequence".to_string(),
+                transient: false,
             })
         }
-        _ => runtime.invoke(function, args),
+        _ => runtime.invoke_with(ctx, function, args),
     }
 }
 
@@ -513,6 +740,7 @@ mod tests {
                 "toy.fail" => Err(ToolError::Failed {
                     function: function.clone(),
                     message: "intentional".into(),
+                    transient: false,
                 }),
                 "toy.empty" => Ok(Value::new(DataFormat::Table, serde_json::json!([]))),
                 _ => Err(ToolError::Unbound(function.clone())),
@@ -573,8 +801,14 @@ mod tests {
         assert!(report.outputs.is_empty());
         assert!(matches!(
             report.results.get(&StepId::from("b")),
-            Some(StepResult::Poisoned { .. })
+            Some(StepResult::Poisoned { failed_dependencies })
+                if failed_dependencies == &vec![StepId::from("a")]
         ));
+        assert_eq!(
+            report.health,
+            RunHealth::Failed { failed_steps: vec![StepId::from("a")] },
+            "a critical failure fails the run"
+        );
     }
 
     #[test]
@@ -639,15 +873,20 @@ mod tests {
             .with_output("left")
             .with_output("right");
         let reg = registry();
-        let baseline =
-            execute_with(&wf, &reg, &ToyRuntime, &BTreeMap::new(), &ExecOptions { workers: 1 });
+        let baseline = execute_with(
+            &wf,
+            &reg,
+            &ToyRuntime,
+            &BTreeMap::new(),
+            &ExecOptions { workers: 1, ..Default::default() },
+        );
         for workers in [2, 4, 8] {
             let parallel = execute_with(
                 &wf,
                 &reg,
                 &ToyRuntime,
                 &BTreeMap::new(),
-                &ExecOptions { workers },
+                &ExecOptions { workers, ..Default::default() },
             );
             assert_eq!(parallel, baseline, "workers={workers}");
         }
@@ -684,7 +923,7 @@ mod tests {
                     &registry(),
                     &PanickyRuntime,
                     &BTreeMap::new(),
-                    &ExecOptions { workers },
+                    &ExecOptions { workers, ..Default::default() },
                 )
             });
             assert!(result.is_err(), "workers={workers}: panic must propagate");
@@ -702,7 +941,208 @@ mod tests {
         assert_eq!(report.poisoned, 1);
         assert!(matches!(
             report.results.get(&StepId::from("b")),
-            Some(StepResult::Poisoned { failed_dependency }) if failed_dependency == &StepId::from("a")
+            Some(StepResult::Poisoned { failed_dependencies })
+                if failed_dependencies == &vec![StepId::from("a")]
         ));
+        assert!(
+            matches!(report.health, RunHealth::Failed { .. }),
+            "a dangling-reference poisoning has no attributable non-critical root"
+        );
+    }
+
+    /// A step with several failed upstream paths records *every* root
+    /// cause, sorted — not just the first one discovered.
+    #[test]
+    fn poisoning_collects_all_failed_dependencies() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("fail_z", "toy.fail"))
+            .with_step(Step::new("fail_a", "toy.fail"))
+            .with_step(Step::new("mid", "toy.count").bind_step("table", "fail_z"))
+            .with_step(
+                Step::new("join", "toy.count")
+                    .bind_step("table", "mid")
+                    .bind_step("extra", "fail_a"),
+            );
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert!(matches!(
+            report.results.get(&StepId::from("join")),
+            Some(StepResult::Poisoned { failed_dependencies })
+                if failed_dependencies == &vec![StepId::from("fail_a"), StepId::from("fail_z")]
+        ));
+    }
+
+    /// The diamond-DAG propagation contract: one shared upstream failure
+    /// poisons both branches and their join — and nothing in an unrelated
+    /// subtree — identically at 1, 2 and 8 workers.
+    #[test]
+    fn diamond_failure_poisons_both_branches_only() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("apex", "toy.fail"))
+            .with_step(Step::new("left", "toy.count").bind_step("table", "apex"))
+            .with_step(Step::new("right", "toy.count").bind_step("table", "apex"))
+            .with_step(
+                Step::new("join", "toy.count")
+                    .bind_step("table", "left")
+                    .bind_step("other", "right"),
+            )
+            .with_step(Step::new("other_root", "toy.make"))
+            .with_step(Step::new("other_leaf", "toy.count").bind_step("table", "other_root"))
+            .with_output("join")
+            .with_output("other_leaf");
+        let reg = registry();
+        let baseline = execute_with(
+            &wf,
+            &reg,
+            &ToyRuntime,
+            &BTreeMap::new(),
+            &ExecOptions { workers: 1, ..Default::default() },
+        );
+        for workers in [2, 8] {
+            let parallel = execute_with(
+                &wf,
+                &reg,
+                &ToyRuntime,
+                &BTreeMap::new(),
+                &ExecOptions { workers, ..Default::default() },
+            );
+            assert_eq!(parallel, baseline, "workers={workers}");
+        }
+        let apex_roots = vec![StepId::from("apex")];
+        for poisoned in ["left", "right", "join"] {
+            assert!(
+                matches!(
+                    baseline.results.get(&StepId::from(poisoned)),
+                    Some(StepResult::Poisoned { failed_dependencies })
+                        if failed_dependencies == &apex_roots
+                ),
+                "{poisoned} must be poisoned by apex alone"
+            );
+        }
+        assert!(baseline.results[&StepId::from("other_root")].is_ok());
+        assert!(baseline.results[&StepId::from("other_leaf")].is_ok());
+        assert_eq!(baseline.outputs.len(), 1, "unrelated subtree still produces its output");
+    }
+
+    /// A runtime whose function fails transiently on early attempts —
+    /// keyed purely on the executor-provided attempt counter, so it is
+    /// deterministic without internal state.
+    struct TransientRuntime {
+        fail_attempts: u32,
+    }
+
+    impl ToolRuntime for TransientRuntime {
+        fn invoke(
+            &self,
+            function: &FunctionId,
+            args: &BTreeMap<String, Value>,
+        ) -> Result<Value, ToolError> {
+            self.invoke_with(&InvokeContext { step: &StepId::from("?"), attempt: 0 }, function, args)
+        }
+
+        fn invoke_with(
+            &self,
+            ctx: &InvokeContext<'_>,
+            function: &FunctionId,
+            _args: &BTreeMap<String, Value>,
+        ) -> Result<Value, ToolError> {
+            if ctx.attempt < self.fail_attempts {
+                Err(ToolError::Failed {
+                    function: function.clone(),
+                    message: "flaky".into(),
+                    transient: true,
+                })
+            } else {
+                Ok(Value::new(DataFormat::Table, serde_json::json!([{"v": 1}])))
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_within_budget() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("a", "toy.make")).with_output("a");
+        let report = execute_with(
+            &wf,
+            &registry(),
+            &TransientRuntime { fail_attempts: 2 },
+            &BTreeMap::new(),
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(3) },
+        );
+        assert!(report.all_ok(), "qa: {:?}", report.qa);
+        assert_eq!(report.health, RunHealth::Ok);
+        assert_eq!(report.retries, 2);
+        // base 1: 1 << 0 + 1 << 1 = 3 logical ticks of backoff.
+        assert_eq!(report.backoff_ticks, 3);
+        assert_eq!(
+            report.qa.iter().filter(|f| f.severity == QaSeverity::Info).count(),
+            2,
+            "each retry leaves an Info finding"
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_step() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("a", "toy.make"));
+        let report = execute_with(
+            &wf,
+            &registry(),
+            &TransientRuntime { fail_attempts: 5 },
+            &BTreeMap::new(),
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(1) },
+        );
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.retries, 1);
+        assert!(matches!(
+            report.results.get(&StepId::from("a")),
+            Some(StepResult::Failed(ToolError::Failed { transient: true, .. }))
+        ));
+    }
+
+    #[test]
+    fn persistent_failures_are_never_retried() {
+        let wf = Workflow::new("w", "q").with_step(Step::new("a", "toy.fail"));
+        let report = execute_with(
+            &wf,
+            &registry(),
+            &ToyRuntime,
+            &BTreeMap::new(),
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(5) },
+        );
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.retries, 0, "transient: false skips the retry budget");
+        assert_eq!(report.backoff_ticks, 0);
+    }
+
+    /// Non-critical failures — and the poisonings they cause — degrade
+    /// the run instead of failing it; surviving outputs are kept.
+    #[test]
+    fn non_critical_failure_degrades_instead_of_failing() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("good", "toy.make"))
+            .with_step(Step::new("flaky", "toy.fail").non_critical())
+            .with_step(Step::new("enrich", "toy.count").bind_step("table", "flaky"))
+            .with_output("good")
+            .with_output("enrich");
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert_eq!(
+            report.health,
+            RunHealth::Degraded { failed_steps: vec![StepId::from("flaky")] }
+        );
+        assert!(!report.all_ok());
+        assert_eq!(report.outputs.len(), 1, "the healthy output survives");
+        assert!(report.outputs.contains_key(&StepId::from("good")));
+    }
+
+    #[test]
+    fn critical_failure_outranks_non_critical_degradation() {
+        let wf = Workflow::new("w", "q")
+            .with_step(Step::new("flaky", "toy.fail").non_critical())
+            .with_step(Step::new("vital", "toy.fail"));
+        let report = execute(&wf, &registry(), &ToyRuntime, &BTreeMap::new());
+        assert_eq!(
+            report.health,
+            RunHealth::Failed {
+                failed_steps: vec![StepId::from("flaky"), StepId::from("vital")]
+            }
+        );
     }
 }

@@ -28,8 +28,8 @@ pub mod value;
 
 pub use check::{check, TypeError};
 pub use exec::{
-    execute, execute_with, ExecOptions, ExecutionReport, QaFinding, StepResult, ToolError,
-    ToolRuntime, TypedValue,
+    execute, execute_with, ExecOptions, ExecutionReport, InvokeContext, QaFinding, RetryPolicy,
+    RunHealth, StepResult, ToolError, ToolRuntime, TypedValue,
 };
 pub use render::{loc, to_source};
 pub use value::{Value, ValueView};
@@ -82,6 +82,10 @@ pub struct Step {
     pub inputs: BTreeMap<String, Binding>,
     /// Why this step exists — surfaced in rendered code as a comment.
     pub rationale: String,
+    /// Whether a failure of this step fails the whole run. Non-critical
+    /// steps (enrichment detectors, QA probes) degrade the report instead
+    /// of failing it — see [`exec::RunHealth`].
+    pub critical: bool,
 }
 
 impl Step {
@@ -92,7 +96,15 @@ impl Step {
             function: FunctionId::from(function),
             inputs: BTreeMap::new(),
             rationale: String::new(),
+            critical: true,
         }
+    }
+
+    /// Marks the step as non-critical: its failure (and any poisoning it
+    /// causes) degrades the run instead of failing it.
+    pub fn non_critical(mut self) -> Step {
+        self.critical = false;
+        self
     }
 
     /// Binds a parameter.

@@ -84,6 +84,7 @@ impl ToolRuntime for DagRuntime {
             "dag.fail" => Err(ToolError::Failed {
                 function: function.clone(),
                 message: "intentional".into(),
+                transient: false,
             }),
             _ => Err(ToolError::Unbound(function.clone())),
         }
@@ -132,9 +133,9 @@ proptest! {
         let wf = build_workflow(&specs);
         let registry = dag_registry();
         let args = BTreeMap::new();
-        let baseline = execute_with(&wf, &registry, &DagRuntime, &args, &ExecOptions { workers: 1 });
+        let baseline = execute_with(&wf, &registry, &DagRuntime, &args, &ExecOptions { workers: 1, ..Default::default() });
         for workers in [2usize, 8] {
-            let report = execute_with(&wf, &registry, &DagRuntime, &args, &ExecOptions { workers });
+            let report = execute_with(&wf, &registry, &DagRuntime, &args, &ExecOptions { workers, ..Default::default() });
             prop_assert_eq!(&report, &baseline);
         }
         // Sanity: counters cover every step instance.
@@ -148,7 +149,7 @@ proptest! {
     fn poisoning_is_transitive_and_deterministic(specs in proptest::collection::vec(step_spec(), 1..14)) {
         let wf = build_workflow(&specs);
         let registry = dag_registry();
-        let report = execute_with(&wf, &registry, &DagRuntime, &BTreeMap::new(), &ExecOptions { workers: 8 });
+        let report = execute_with(&wf, &registry, &DagRuntime, &BTreeMap::new(), &ExecOptions { workers: 8, ..Default::default() });
 
         // Recompute expected per-step health sequentially.
         let mut ok = vec![false; specs.len()];

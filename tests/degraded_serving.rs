@@ -1,0 +1,102 @@
+//! PR-7 acceptance: resilient serving end to end.
+//!
+//! A session over `cs5_hijack_scenario` with an injected *persistent*
+//! `bgp.valley_violations` failure must complete with
+//! `health = Degraded` — the valley detector is non-critical enrichment
+//! — and still return the MOAS detections that identify the hijack.
+//! With a *transient* fault and a retry budget instead, the same query
+//! must ride through to a healthy run. Both behaviors are bit-identical
+//! across 1/2/8 executor workers.
+
+use std::sync::Arc;
+
+use arachnet::{
+    DeterministicExpertModel, Engine, FaultKind, FaultPlan, RetryPolicy, RunHealth, SessionRun,
+};
+use llm::protocol::QueryContext;
+use toolkit::{catalog, scenarios};
+use workflow::StepResult;
+
+const FORENSICS_QUERY: &str =
+    "Multiple origin ASes were observed announcing the same prefixes starting two days \
+     ago. Determine whether a prefix hijack or a route leak caused this, and identify \
+     the offending AS.";
+
+fn serve(workers: usize, plan: FaultPlan, retry: RetryPolicy) -> SessionRun {
+    let engine = Engine::new(
+        Arc::new(DeterministicExpertModel::new()),
+        catalog::standard_registry(),
+    )
+    .with_exec_workers(workers)
+    .with_fault_plan(plan)
+    .with_retry_policy(retry);
+    engine.register_scenario("cs5", scenarios::cs5_hijack_scenario());
+    let session = engine.session("cs5").expect("cs5 registered");
+    let scenario = session.scenario();
+    let horizon_days = scenario.horizon.duration().as_seconds() / 86_400;
+    let context: QueryContext =
+        catalog::query_context(&scenario.world, scenario.now, horizon_days);
+    session.run(FORENSICS_QUERY, &context).expect("query serves despite the fault")
+}
+
+fn valley_outage() -> FaultPlan {
+    FaultPlan::new(1).with_fault("bgp.valley_violations", FaultKind::Persistent)
+}
+
+#[test]
+fn persistent_valley_failure_degrades_but_keeps_moas_detections() {
+    let run = serve(workflow::exec::default_workers(), valley_outage(), RetryPolicy::default());
+
+    // The run degrades instead of failing: the only failed step is the
+    // (non-critical) valley detector.
+    assert!(run.health.is_degraded(), "health: {:?}", run.health);
+    let failed = run.health.failed_steps();
+    assert_eq!(failed.len(), 1, "failed steps: {failed:?}");
+    assert!(failed[0].0.contains("valley"), "failed steps: {failed:?}");
+
+    // MOAS detections survive — "detector unavailable" is not "no
+    // anomaly".
+    let moas = run
+        .report
+        .results
+        .iter()
+        .find(|(id, _)| id.0.contains("detect_moas"))
+        .and_then(|(_, r)| r.value())
+        .expect("moas step executed");
+    let conflicts: Vec<bgp_sim::MoasConflict> = moas.parse().expect("conflicts parse");
+    assert!(!conflicts.is_empty(), "the hijack still surfaces as MOAS conflicts");
+
+    // Everything downstream of the valley detector is poisoned and
+    // attributes its root cause to the valley step alone.
+    for (id, result) in &run.report.results {
+        if let StepResult::Poisoned { failed_dependencies } = result {
+            assert_eq!(failed_dependencies, failed, "{id}: wrong root attribution");
+        }
+    }
+    assert!(run.report.poisoned > 0, "attribution depends on the valley detector");
+}
+
+#[test]
+fn degraded_serving_is_bit_identical_across_worker_counts() {
+    let base = serve(1, valley_outage(), RetryPolicy::default());
+    for workers in [2usize, 8] {
+        let run = serve(workers, valley_outage(), RetryPolicy::default());
+        assert_eq!(run.report, base.report, "{workers} workers: degraded run diverged");
+        assert_eq!(run.health, base.health);
+    }
+}
+
+#[test]
+fn transient_valley_failure_rides_through_on_retries() {
+    let flaky = FaultPlan::new(2).with_fault("bgp.valley_violations", FaultKind::Transient {
+        failures: 2,
+    });
+    // Without a retry budget the transient outage still degrades the run...
+    let starved = serve(4, flaky.clone(), RetryPolicy::default());
+    assert!(starved.health.is_degraded(), "health: {:?}", starved.health);
+    // ...with one, the session serves a fully healthy report.
+    let run = serve(4, flaky, RetryPolicy::with_retries(2));
+    assert_eq!(run.health, RunHealth::Ok, "qa: {:?}", run.report.qa);
+    assert!(run.report.all_ok());
+    assert_eq!(run.report.retries, 2);
+}
