@@ -1,7 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr7.json` at the repo root (and
+//! serving hot paths, written as `BENCH_pr8.json` at the repo root (and
 //! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
-//! through `BENCH_pr6.json`).
+//! through `BENCH_pr7.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -43,7 +43,11 @@
 //! * `engine/degraded_session` — the CS5 forensics query served with
 //!   `bgp.valley_violations` persistently failed (run completes
 //!   `Degraded`, skipping the poisoned attribution work) vs the same
-//!   query served healthy.
+//!   query served healthy;
+//! * `forge/campaign_10k` — a full campaign (every base family plus both
+//!   composed families, ~1k scenario-queries) expanded, registered and
+//!   served through `CampaignRunner` at max workers vs the same campaign
+//!   at 1 worker.
 
 // conformance: allow(no-wall-clock, reason = "the bench report exists to measure wall time")
 use std::time::Instant;
@@ -76,7 +80,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -404,8 +408,74 @@ fn main() {
         "speedup": session_healthy / session_degraded,
     }));
 
+    // --- PR 8: fleet-scale campaign serving -------------------------------
+    // Every base family plus both composed families expanded through one
+    // `CampaignSpec` and served end to end (decompose + plan + execute
+    // per query) through the engine's session pool: ~1k scenario-queries
+    // per run, worlds deduplicated through the shared cache, outcomes
+    // reduced to a `ResilienceScorecard` with a provenance record per
+    // query. The baseline is the identical campaign at 1 worker.
+    let campaign_params = campaign::FamilyParams::default();
+    let mut campaign_ensembles: Vec<campaign::EnsembleSpec> = arachnet::Family::ALL
+        .iter()
+        .map(|&f| campaign::EnsembleSpec::new(f, campaign_params.clone()))
+        .collect();
+    campaign_ensembles.extend(
+        campaign::ComposedFamily::ALL
+            .iter()
+            .map(|&f| campaign::EnsembleSpec::new(f, campaign_params.clone())),
+    );
+    let campaign_scenarios: usize =
+        campaign_ensembles.iter().map(|e| e.expand()[0].blueprints.len()).sum();
+    // Enough query phrasings that scenarios × queries clears 1k tasks.
+    let campaign_queries: Vec<String> = (0..1000usize.div_ceil(campaign_scenarios))
+        .map(|i| {
+            format!(
+                "Case {i}: multiple origin ASes were observed announcing the same \
+                 prefixes. Determine whether a prefix hijack or a route leak caused \
+                 this, and identify the offending AS."
+            )
+        })
+        .collect();
+    let campaign_spec =
+        campaign::CampaignSpec::new(campaign_ensembles, campaign_queries);
+    // Per-query DAGs run at 1 executor worker here so the campaign-level
+    // worker pool is the only parallelism being contrasted — otherwise
+    // the two pools oversubscribe each other on small containers.
+    let campaign_engine = arachnet::Engine::new(
+        std::sync::Arc::clone(&fleet_model) as std::sync::Arc<dyn llm::LanguageModel>,
+        toolkit::catalog::standard_registry(),
+    )
+    .with_exec_workers(1);
+    let campaign_tasks = std::cell::Cell::new(0usize);
+    let campaign_par = median_ms(3, || {
+        let report = campaign::CampaignRunner::new(&campaign_engine)
+            .with_workers(max_workers)
+            .run(&campaign_spec);
+        assert_eq!(report.scorecard.failed, 0, "campaign serves cleanly");
+        campaign_tasks.set(report.scorecard.queries);
+        report.scorecard.queries
+    });
+    let campaign_seq = median_ms(1, || {
+        campaign::CampaignRunner::new(&campaign_engine)
+            .with_workers(1)
+            .run(&campaign_spec)
+            .scorecard
+            .queries
+    });
+    benchmarks.push(json!({
+        "id": "forge/campaign_10k",
+        "median_ms": campaign_par,
+        "baseline": "the identical campaign served at 1 worker",
+        "baseline_median_ms": campaign_seq,
+        "scenario_queries": campaign_tasks.get(),
+        "scenarios": campaign_scenarios,
+        "workers": max_workers,
+        "speedup": campaign_seq / campaign_par,
+    }));
+
     let report = json!({
-        "pr": 7,
+        "pr": 8,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

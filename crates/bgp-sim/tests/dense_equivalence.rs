@@ -146,6 +146,147 @@ fn leak_sweep_is_bit_identical_across_worker_counts() {
     assert_eq!(all1, all8, "1 vs 8 workers (leak pass)");
 }
 
+/// The multi-homed ASes of the default world, ascending — candidate
+/// leakers whose leaks are guaranteed to be illegitimate exports.
+fn multi_homed(scenario: &Scenario, graph: &AsGraph) -> Vec<Asn> {
+    scenario
+        .world
+        .ases
+        .iter()
+        .map(|a| a.asn)
+        .filter(|&a| graph.providers(a).len() >= 2)
+        .collect()
+}
+
+/// A composed timeline on the default world: a cable cut, a bounded
+/// route leak, and a prefix hijack that goes live *inside* the leak
+/// window. Mirrors the campaign crate's composed families
+/// (hijack-during-cascade), where incidents overlap instead of running
+/// one at a time.
+fn composed_scenario() -> (Scenario, SimTime) {
+    let world = generate(&WorldConfig::default());
+    let cable = world.cable_by_name("SeaMeWe-5").unwrap().id;
+    let victim = world.prefixes[0];
+    let hijacker = world
+        .ases
+        .iter()
+        .map(|a| a.asn)
+        .find(|&a| a != victim.origin)
+        .expect("more than one AS");
+
+    let cut = SimTime::EPOCH + SimDuration::days(2);
+    let leak_open = SimTime::EPOCH + SimDuration::days(4);
+    let leak_close = SimTime::EPOCH + SimDuration::days(7);
+    let hijack_at = SimTime::EPOCH + SimDuration::days(5);
+
+    let mut scenario = Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, cut);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let leaker = multi_homed(&scenario, &graph)[0];
+    scenario.push_event(EventKind::RouteLeak { leaker }, leak_open, Some(leak_close));
+    scenario.push_event(
+        EventKind::PrefixHijack { origin: hijacker, victim_prefix: victim.net },
+        hijack_at,
+        None,
+    );
+    // Mid-overlap: the cut is live, the leak window is open, the hijack
+    // has started.
+    (scenario, hijack_at + SimDuration::hours(1))
+}
+
+#[test]
+fn dense_engine_matches_seed_on_composed_timelines() {
+    let (scenario, mid) = composed_scenario();
+    let control = scenario.control_plane_at(mid);
+    assert!(!control.hijacks.is_empty(), "hijack live mid-overlap");
+    assert_eq!(control.leakers.len(), 1, "leak window open mid-overlap");
+
+    // The cut topology *and* the leak overrides apply at once; the dense
+    // engine must still match the seed algorithm byte for byte.
+    let graph = AsGraph::at_time(&scenario, mid);
+    let overrides = PolicyOverrides::from(&control);
+    let table = RoutingTable::compute_for_graph_with(&graph, 2, &overrides);
+    let nodes: Vec<Asn> = graph.nodes().collect();
+    for &dst in &nodes {
+        let expected = reference::compute_for_destination_with(&graph, dst, &overrides);
+        assert_eq!(table.reachable_from(dst), expected.len(), "holders towards {dst}");
+        for &src in &nodes {
+            assert_eq!(
+                table.route(src, dst),
+                expected.get(&src).cloned(),
+                "composed route {src} -> {dst} diverges from the seed algorithm"
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_timeline_updates_are_insertion_order_invariant() {
+    // merge_scripts canonicalizes composed event order by content; the
+    // update stream must not care which member family's events landed
+    // first on the timeline.
+    let (scenario, _) = composed_scenario();
+    let mut reversed = Scenario::quiet(scenario.world_handle(), 10);
+    for ev in scenario.events.iter().rev() {
+        reversed.push_event(ev.kind.clone(), ev.at, ev.until);
+    }
+    let peers: Vec<Asn> = scenario.world.ases.iter().take(8).map(|a| a.asn).collect();
+    let canonical = bgp_sim::updates::derive_updates(&scenario, &peers);
+    assert!(!canonical.is_empty(), "a composed timeline produces churn");
+    assert_eq!(bgp_sim::updates::derive_updates(&reversed, &peers), canonical);
+    // And the derivation itself is a pure function of the scenario.
+    assert_eq!(bgp_sim::updates::derive_updates(&scenario, &peers), canonical);
+}
+
+#[test]
+fn staggered_overlapping_leaks_open_and_close_independently() {
+    let world = generate(&WorldConfig::default());
+    let scenario = Scenario::quiet(world, 10);
+    let graph = AsGraph::at_time(&scenario, SimTime::EPOCH);
+    let homed = multi_homed(&scenario, &graph);
+    assert!(homed.len() >= 2, "the default world has ≥2 multi-homed ASes");
+    let (first, second) = (homed[0], homed[1]);
+
+    // first leaks over days [2, 6]; second over days [4, 8]: the windows
+    // overlap on [4, 6] and each closes on its own schedule.
+    let mut s = scenario;
+    let day = |d: i64| SimTime::EPOCH + SimDuration::days(d);
+    s.push_event(EventKind::RouteLeak { leaker: first }, day(2), Some(day(6)));
+    s.push_event(EventKind::RouteLeak { leaker: second }, day(4), Some(day(8)));
+
+    assert!(s.control_plane_at(day(1)).is_quiet());
+    assert_eq!(s.control_plane_at(day(3)).leakers, vec![first]);
+    let mut both = vec![first, second];
+    both.sort();
+    assert_eq!(s.control_plane_at(day(5)).leakers, both, "overlap window");
+    assert_eq!(s.control_plane_at(day(7)).leakers, vec![second]);
+    assert!(s.control_plane_at(day(9)).is_quiet(), "both windows closed");
+
+    // During the overlap both leakers apply at once: dense == reference.
+    let overrides = PolicyOverrides::from(&s.control_plane_at(day(5)));
+    assert_eq!(overrides.leakers().len(), 2);
+    let table = RoutingTable::compute_for_graph_with(&graph, 2, &overrides);
+    let nodes: Vec<Asn> = graph.nodes().collect();
+    for &dst in &nodes {
+        let expected = reference::compute_for_destination_with(&graph, dst, &overrides);
+        for &src in &nodes {
+            assert_eq!(
+                table.route(src, dst),
+                expected.get(&src).cloned(),
+                "double-leak route {src} -> {dst} diverges from the seed algorithm"
+            );
+        }
+    }
+
+    // The update stream walks every boundary: churn at both openings and
+    // both closings, and the post-horizon state is the quiet one again.
+    let peers: Vec<Asn> = s.world.ases.iter().take(8).map(|a| a.asn).collect();
+    let ups = bgp_sim::updates::derive_updates(&s, &peers);
+    assert!(!ups.is_empty());
+    let times: std::collections::BTreeSet<SimTime> =
+        ups.iter().map(|u| SimTime(u.time.0 - u.time.0 % 3600)).collect();
+    assert!(times.len() >= 2, "churn at more than one boundary: {times:?}");
+}
+
 /// A random small relationship graph: a loose tier structure (every
 /// non-top node buys transit from some lower-indexed node, so the graph is
 /// connected upwards) plus random extra provider and peer edges.

@@ -1,0 +1,147 @@
+//! Named composed families: interacting incidents over one world.
+//!
+//! A composed family is a first-class citizen of the fleet APIs: it
+//! expands to [`ScenarioBlueprint`]s exactly like a base
+//! [`Family`] does, so [`arachnet::Engine::register_blueprints`]
+//! registers its fleet under `"<composed-id>/<name>"` keys the same way
+//! `register_family` registers base fleets. The members of a composed
+//! family are all event-script families — they share one
+//! [`world::WorldConfig`] per params, which is what makes the merge
+//! well-defined (and what keeps a composed fleet on the same cached
+//! world as its component fleets).
+
+use arachnet::{Engine, FamilyScenario};
+use scenario_forge::{compose, Family, FamilyParams, ScenarioBlueprint};
+
+/// A named composition of base families whose incidents interact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComposedFamily {
+    /// A targeted prefix hijack goes live *while* a cable-cut cascade is
+    /// reconverging the same corridor — the forensic stream carries MOAS
+    /// evidence tangled with legitimate failure churn.
+    HijackDuringCascade,
+    /// A national censorship cut with an accidental transit leak inside
+    /// the same horizon — physical-layer impact plus a control-plane
+    /// incident that routes around it.
+    CensorshipWithLeak,
+}
+
+impl ComposedFamily {
+    /// Every composed family, in canonical order.
+    pub const ALL: [ComposedFamily; 2] =
+        [ComposedFamily::HijackDuringCascade, ComposedFamily::CensorshipWithLeak];
+
+    /// Stable kebab-case identifier (the engine's key prefix).
+    pub fn id(&self) -> &'static str {
+        match self {
+            ComposedFamily::HijackDuringCascade => "hijack-during-cascade",
+            ComposedFamily::CensorshipWithLeak => "censorship-with-leak",
+        }
+    }
+
+    /// One-line description for catalogs and reports.
+    pub fn description(&self) -> &'static str {
+        match self {
+            ComposedFamily::HijackDuringCascade => {
+                "a prefix hijack live while a multi-cable cascade reconverges"
+            }
+            ComposedFamily::CensorshipWithLeak => {
+                "a censorship cut joined by an accidental transit leak"
+            }
+        }
+    }
+
+    /// The base families whose expansions this composition merges.
+    pub fn members(&self) -> &'static [Family] {
+        match self {
+            ComposedFamily::HijackDuringCascade => {
+                &[Family::CableCutCascade, Family::TargetedPrefixHijack]
+            }
+            ComposedFamily::CensorshipWithLeak => {
+                &[Family::NationalCensorship, Family::AccidentalTransitLeak]
+            }
+        }
+    }
+
+    /// Expands the params into the composed fleet: the i-th variants of
+    /// every member merge into the i-th composed blueprint. Members are
+    /// event-script families sharing one config per params, so the merge
+    /// cannot mismatch; the horizon is the longest member horizon and
+    /// the script order is the canonical content order
+    /// ([`scenario_forge::merge_scripts`]).
+    pub fn expand(&self, params: &FamilyParams) -> Vec<ScenarioBlueprint> {
+        let expansions: Vec<Vec<ScenarioBlueprint>> =
+            self.members().iter().map(|f| f.expand(params)).collect();
+        let variants = expansions.iter().map(Vec::len).min().unwrap_or(0);
+        (0..variants)
+            .filter_map(|i| {
+                let parts: Vec<&ScenarioBlueprint> =
+                    expansions.iter().map(|fleet| &fleet[i]).collect();
+                compose(format!("v{i}-{}", self.id()), &parts).ok()
+            })
+            .collect()
+    }
+
+    /// Registers the composed fleet through the engine's blueprint
+    /// surface — the `register_family` analogue for compositions.
+    pub fn register(&self, engine: &Engine, params: &FamilyParams) -> Vec<FamilyScenario> {
+        engine.register_blueprints(self.id(), &self.expand(params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn composed_fleets_merge_member_scripts() {
+        let params = FamilyParams::default();
+        for family in ComposedFamily::ALL {
+            let fleet = family.expand(&params);
+            assert_eq!(fleet.len(), params.variants, "{}", family.id());
+            let member_fleets: Vec<_> =
+                family.members().iter().map(|f| f.expand(&params)).collect();
+            for (i, bp) in fleet.iter().enumerate() {
+                let expected: usize =
+                    member_fleets.iter().map(|f| f[i].script.len()).sum();
+                assert_eq!(bp.script.len(), expected, "{}", bp.name);
+                assert_eq!(bp.config, member_fleets[0][i].config, "shared world");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_ids_are_distinct_from_base_ids() {
+        let base: BTreeSet<&str> = Family::ALL.iter().map(|f| f.id()).collect();
+        for family in ComposedFamily::ALL {
+            assert!(!base.contains(family.id()), "{} collides", family.id());
+            assert!(family.id().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            assert!(family.members().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_seed_sensitive() {
+        let params = FamilyParams::default();
+        let reseeded = FamilyParams { seed: 7, ..FamilyParams::default() };
+        for family in ComposedFamily::ALL {
+            assert_eq!(family.expand(&params), family.expand(&params));
+            assert_ne!(family.expand(&params), family.expand(&reseeded));
+        }
+    }
+
+    #[test]
+    fn composed_scenarios_carry_interacting_incidents() {
+        // Realize one hijack-during-cascade scenario and check both the
+        // physical cuts and the control-plane hijack are on the timeline.
+        let params = FamilyParams::default();
+        let bp = ComposedFamily::HijackDuringCascade.expand(&params).remove(0);
+        let cache = scenario_forge::WorldCache::new();
+        let scenario = bp.forge(&cache);
+        assert!(scenario.has_control_plane_events(), "hijack present");
+        assert!(!scenario.links_down_at(scenario.now).is_empty(), "cascade present");
+        let control = scenario.control_plane_at(scenario.now);
+        assert!(!control.hijacks.is_empty(), "hijack live at now");
+    }
+}

@@ -1,0 +1,178 @@
+//! Monte Carlo ensembles: seed sweeps over families, and the
+//! distributions campaign results aggregate into.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compose::ComposedFamily;
+use scenario_forge::{Family, FamilyParams, ScenarioBlueprint};
+
+/// Anything a campaign can sweep: a base family or a composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CampaignFamily {
+    Base(Family),
+    Composed(ComposedFamily),
+}
+
+impl CampaignFamily {
+    /// The family's stable identifier (the engine key prefix).
+    pub fn id(&self) -> &'static str {
+        match self {
+            CampaignFamily::Base(f) => f.id(),
+            CampaignFamily::Composed(f) => f.id(),
+        }
+    }
+
+    /// Expands one draw of the sweep.
+    pub fn expand(&self, params: &FamilyParams) -> Vec<ScenarioBlueprint> {
+        match self {
+            CampaignFamily::Base(f) => f.expand(params),
+            CampaignFamily::Composed(f) => f.expand(params),
+        }
+    }
+}
+
+impl From<Family> for CampaignFamily {
+    fn from(f: Family) -> CampaignFamily {
+        CampaignFamily::Base(f)
+    }
+}
+
+impl From<ComposedFamily> for CampaignFamily {
+    fn from(f: ComposedFamily) -> CampaignFamily {
+        CampaignFamily::Composed(f)
+    }
+}
+
+/// A Monte Carlo sweep: `draws` reseeded expansions of one family.
+/// Draw 0 is the root params themselves ([`FamilyParams::reseed`]), so
+/// a one-draw ensemble is exactly the plain family expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSpec {
+    pub family: CampaignFamily,
+    pub params: FamilyParams,
+    /// Sweep size (at least 1).
+    pub draws: usize,
+}
+
+/// One draw of an ensemble: the reseeded params and the blueprints they
+/// expand to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleDraw {
+    pub draw: u64,
+    pub params: FamilyParams,
+    pub blueprints: Vec<ScenarioBlueprint>,
+}
+
+impl EnsembleSpec {
+    /// A single-draw ensemble (the plain family expansion).
+    pub fn new(family: impl Into<CampaignFamily>, params: FamilyParams) -> EnsembleSpec {
+        EnsembleSpec { family: family.into(), params, draws: 1 }
+    }
+
+    /// Widens the sweep to `draws` Monte Carlo draws.
+    pub fn with_draws(mut self, draws: usize) -> EnsembleSpec {
+        self.draws = draws.max(1);
+        self
+    }
+
+    /// Expands every draw, in draw order — a pure function of the spec.
+    pub fn expand(&self) -> Vec<EnsembleDraw> {
+        (0..self.draws.max(1) as u64)
+            .map(|draw| {
+                let params = self.params.reseed(draw);
+                let blueprints = self.family.expand(&params);
+                EnsembleDraw { draw, params, blueprints }
+            })
+            .collect()
+    }
+}
+
+/// A summary distribution over per-query values. Percentiles use the
+/// nearest-rank on a `total_cmp`-sorted copy — total order, no NaN
+/// panics, bit-identical regardless of accumulation order.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Distribution {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarizes `values` (empty input yields the all-zero summary).
+    pub fn of(values: &[f64]) -> Distribution {
+        if values.is_empty() {
+            return Distribution::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = |pct: usize| sorted[(n - 1) * pct / 100];
+        Distribution {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn draw_zero_matches_plain_expansion() {
+        let params = FamilyParams::default();
+        let spec = EnsembleSpec::new(Family::CableCutCascade, params.clone());
+        let draws = spec.expand();
+        assert_eq!(draws.len(), 1);
+        assert_eq!(draws[0].blueprints, Family::CableCutCascade.expand(&params));
+    }
+
+    #[test]
+    fn sweeps_rotate_worlds_and_stay_deterministic() {
+        let spec = EnsembleSpec::new(
+            CampaignFamily::Composed(ComposedFamily::HijackDuringCascade),
+            FamilyParams { variants: 1, ..FamilyParams::default() },
+        )
+        .with_draws(5);
+        let draws = spec.expand();
+        assert_eq!(draws.len(), 5);
+        assert_eq!(draws, spec.expand(), "expansion is pure");
+        let worlds: BTreeSet<u64> = draws
+            .iter()
+            .flat_map(|d| d.blueprints.iter().map(|b| b.world_hash()))
+            .collect();
+        assert_eq!(worlds.len(), 5, "each draw sweeps to its own world seed");
+    }
+
+    #[test]
+    fn distribution_percentiles_are_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = Distribution::of(&values);
+        assert_eq!(d.count, 100);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 100.0);
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p90, 90.0);
+        assert_eq!(d.p99, 99.0);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+        assert_eq!(Distribution::of(&[]), Distribution::default());
+    }
+
+    #[test]
+    fn distribution_is_order_insensitive() {
+        let a = [3.0, 1.0, 2.0, f64::INFINITY, 0.5];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(Distribution::of(&a), Distribution::of(&b));
+    }
+}

@@ -26,7 +26,7 @@ use llm::protocol::{QueryContext, WorkflowSummary};
 use llm::LanguageModel;
 use parking_lot::{Mutex, RwLock};
 use registry::Registry;
-use scenario_forge::{Family, FamilyParams, SharedWorldCache};
+use scenario_forge::{Family, FamilyParams, ScenarioBlueprint, SharedWorldCache};
 use toolkit::{ArtifactStore, ResilienceConfig, ResilientRuntime, StandardRuntime};
 use workflow::{
     execute_with, ExecOptions, ExecutionReport, RetryPolicy, RunHealth, Value, Workflow,
@@ -73,6 +73,11 @@ pub struct Engine {
     /// write-lock the readers ever contend with.
     curation: Mutex<()>,
     scenarios: Mutex<BTreeMap<String, ScenarioSlot>>,
+    /// Running counters over every [`Engine::register_scenario`] outcome;
+    /// see [`RegistrationStats`]. Campaigns registering thousands of
+    /// fleet keys read these to *observe* collisions instead of fishing
+    /// them out of logs.
+    reg_stats: Mutex<RegistrationStats>,
     /// Content-addressed `Arc<World>` view: every scenario registered
     /// through [`Engine::register_family`] whose config matches an
     /// already-generated world shares that world. Generation delegates
@@ -95,6 +100,24 @@ pub struct ScenarioRegistration {
     /// means a re-registration offered a *different* timeline and was
     /// ignored — logged, because it is almost always a key-collision bug.
     pub matched: bool,
+}
+
+/// Aggregate outcome counters over every scenario registration an
+/// engine has processed ([`Engine::register_scenario`] and the fleet
+/// APIs built on it). `mismatched` is the count that used to live only
+/// in a log line: re-registrations that offered a *different* timeline
+/// under an existing key and were ignored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistrationStats {
+    /// Total registration attempts.
+    pub registered: usize,
+    /// Attempts that created a new slot.
+    pub fresh: usize,
+    /// Attempts that kept an existing slot (idempotent re-registration).
+    pub kept_existing: usize,
+    /// Kept slots where the offered timeline did *not* match the slot —
+    /// almost always a key-collision bug in the caller's fleet naming.
+    pub mismatched: usize,
 }
 
 /// One scenario of a family fleet, as registered by
@@ -132,6 +155,7 @@ impl Engine {
             })),
             curation: Mutex::new(()),
             scenarios: Mutex::new(BTreeMap::new()),
+            reg_stats: Mutex::new(RegistrationStats::default()),
             worlds: SharedWorldCache::over_global(),
         }
     }
@@ -180,28 +204,49 @@ impl Engine {
     /// re-registration is logged, since silently dropping a *different*
     /// timeline under a reused key is almost always a bug.
     pub fn register_scenario(&self, key: &str, scenario: Scenario) -> ScenarioRegistration {
-        let mut scenarios = self.scenarios.lock();
-        match scenarios.entry(key.to_string()) {
-            std::collections::btree_map::Entry::Occupied(slot) => {
-                let existing = Arc::clone(&slot.get().scenario);
-                let matched = existing.spec() == scenario.spec();
-                if !matched {
-                    eprintln!(
-                        "engine: scenario key {key:?} re-registered with a different \
-                         timeline; keeping the existing slot"
-                    );
+        let registration = {
+            let mut scenarios = self.scenarios.lock();
+            match scenarios.entry(key.to_string()) {
+                std::collections::btree_map::Entry::Occupied(slot) => {
+                    let existing = Arc::clone(&slot.get().scenario);
+                    let matched = existing.spec() == scenario.spec();
+                    if !matched {
+                        eprintln!(
+                            "engine: scenario key {key:?} re-registered with a different \
+                             timeline; keeping the existing slot"
+                        );
+                    }
+                    ScenarioRegistration { scenario: existing, kept_existing: true, matched }
                 }
-                ScenarioRegistration { scenario: existing, kept_existing: true, matched }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    let scenario = Arc::new(scenario);
+                    slot.insert(ScenarioSlot {
+                        scenario: Arc::clone(&scenario),
+                        artifacts: Arc::new(ArtifactStore::new()),
+                    });
+                    ScenarioRegistration { scenario, kept_existing: false, matched: true }
+                }
             }
-            std::collections::btree_map::Entry::Vacant(slot) => {
-                let scenario = Arc::new(scenario);
-                slot.insert(ScenarioSlot {
-                    scenario: Arc::clone(&scenario),
-                    artifacts: Arc::new(ArtifactStore::new()),
-                });
-                ScenarioRegistration { scenario, kept_existing: false, matched: true }
-            }
+        };
+        let mut stats = self.reg_stats.lock();
+        stats.registered += 1;
+        if registration.kept_existing {
+            stats.kept_existing += 1;
+        } else {
+            stats.fresh += 1;
         }
+        if !registration.matched {
+            stats.mismatched += 1;
+        }
+        registration
+    }
+
+    /// Aggregate counters over every registration this engine has seen —
+    /// the fleet-stats view of [`ScenarioRegistration`] outcomes. A
+    /// campaign that registered thousands of keys checks
+    /// `mismatched == 0` here instead of scraping logs.
+    pub fn registration_stats(&self) -> RegistrationStats {
+        *self.reg_stats.lock()
     }
 
     /// Registers a whole scenario family fleet in one call: expands the
@@ -215,11 +260,23 @@ impl Engine {
         family: Family,
         params: &FamilyParams,
     ) -> Vec<FamilyScenario> {
-        family
-            .expand(params)
+        self.register_blueprints(family.id(), &family.expand(params))
+    }
+
+    /// Registers an already-expanded blueprint fleet under
+    /// `"<prefix>/<blueprint-name>"` keys — the same path
+    /// [`Engine::register_family`] takes, exposed so composed and
+    /// ensemble-swept blueprints (which no single [`Family`] expands to)
+    /// ride the identical world-dedup and idempotency machinery.
+    pub fn register_blueprints(
+        &self,
+        prefix: &str,
+        blueprints: &[ScenarioBlueprint],
+    ) -> Vec<FamilyScenario> {
+        blueprints
             .iter()
             .map(|blueprint| {
-                let key = format!("{}/{}", family.id(), blueprint.name);
+                let key = format!("{}/{}", prefix, blueprint.name);
                 let world = self.worlds.get_or_generate(&blueprint.config);
                 let registration = self.register_scenario(&key, blueprint.realize(world));
                 FamilyScenario {
@@ -240,6 +297,13 @@ impl Engine {
         params: &FamilyParams,
     ) -> Vec<FamilyScenario> {
         families.iter().flat_map(|f| self.register_family(*f, params)).collect()
+    }
+
+    /// The fault plan injected into every session's runtime, when one is
+    /// installed — provenance records stamp its seed so degraded campaign
+    /// results stay reproducible.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The engine's content-addressed world-cache view (diagnostics:
@@ -533,6 +597,45 @@ mod tests {
             fresh.scenario.spec(),
             "the existing timeline still serves the key"
         );
+    }
+
+    #[test]
+    fn registration_stats_surface_collisions() {
+        let engine = engine(); // "cs2" registered fresh
+        assert_eq!(
+            engine.registration_stats(),
+            RegistrationStats { registered: 1, fresh: 1, kept_existing: 0, mismatched: 0 }
+        );
+        engine.register_scenario("cs2", scenarios::cs2_scenario()); // idempotent
+        engine.register_scenario("cs2", scenarios::cs4_scenario()); // collision
+        assert_eq!(
+            engine.registration_stats(),
+            RegistrationStats { registered: 3, fresh: 1, kept_existing: 2, mismatched: 1 }
+        );
+    }
+
+    #[test]
+    fn blueprint_fleets_register_like_families() {
+        let engine = engine();
+        let params = scenario_forge::FamilyParams::default();
+        let family = scenario_forge::Family::CableCutCascade;
+        let via_family = engine.register_family(family, &params);
+
+        // The same expansion through the blueprint surface is a byte-level
+        // no-op: every key collides with a matching timeline.
+        let again = engine.register_blueprints(family.id(), &family.expand(&params));
+        assert_eq!(again.len(), via_family.len());
+        assert!(again.iter().all(|s| !s.fresh && s.matched));
+        for (a, b) in again.iter().zip(&via_family) {
+            assert_eq!(a.key, b.key);
+            assert!(Arc::ptr_eq(&a.scenario, &b.scenario));
+        }
+
+        // A distinct prefix gives the same timelines their own slots.
+        let prefixed = engine.register_blueprints("composed", &family.expand(&params));
+        assert!(prefixed.iter().all(|s| s.fresh && s.matched));
+        assert!(prefixed[0].key.starts_with("composed/"));
+        assert_eq!(engine.registration_stats().mismatched, 0);
     }
 
     #[test]

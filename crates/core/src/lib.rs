@@ -29,7 +29,8 @@ pub mod orchestrator;
 
 pub use agents::{AgentConfig, AgentError};
 pub use engine::{
-    Engine, FamilyScenario, RegistryEpoch, ScenarioRegistration, Session, SessionRun,
+    Engine, FamilyScenario, RegistrationStats, RegistryEpoch, ScenarioRegistration, Session,
+    SessionRun,
 };
 pub use ensemble::{EnsembleReport, FunctionAgreement, SolutionSource};
 pub use orchestrator::{ArachNet, CurationOutcome, ExpertHooks, GeneratedSolution, PipelineError};

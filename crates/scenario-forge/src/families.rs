@@ -47,6 +47,33 @@ impl Default for FamilyParams {
 }
 
 impl FamilyParams {
+    /// The `draw`-th member of a Monte Carlo sweep rooted at these
+    /// params: the seed is re-derived through [`stable_hash`] (so
+    /// consecutive draws decorrelate fully) while every other knob is
+    /// kept. `reseed(0) == self` — draw zero is the root itself, which
+    /// keeps single-member ensembles byte-compatible with direct
+    /// expansion.
+    pub fn reseed(&self, draw: u64) -> FamilyParams {
+        if draw == 0 {
+            return self.clone();
+        }
+        FamilyParams {
+            seed: stable_hash(&[0x0053_5745_4550_u64, self.seed, draw]), // "SWEEP"
+            ..self.clone()
+        }
+    }
+
+    /// Content identity of the params (floats by bit pattern) — the
+    /// `params_hash` a campaign provenance record carries.
+    pub fn content_hash(&self) -> u64 {
+        stable_hash(&[
+            self.seed,
+            self.intensity.to_bits(),
+            self.variants as u64,
+            self.horizon_days as u64,
+        ])
+    }
+
     fn intensity(&self) -> f64 {
         self.intensity.clamp(0.0, 1.0)
     }
@@ -527,6 +554,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reseed_sweeps_decorrelate_but_draw_zero_is_identity() {
+        let root = FamilyParams::default();
+        assert_eq!(root.reseed(0), root);
+        let seeds: BTreeSet<u64> = (0..32).map(|d| root.reseed(d).seed).collect();
+        assert_eq!(seeds.len(), 32, "32 draws give 32 distinct seeds");
+        for d in 1..4 {
+            let p = root.reseed(d);
+            assert_eq!(p.intensity, root.intensity);
+            assert_eq!(p.variants, root.variants);
+            assert_eq!(p.horizon_days, root.horizon_days);
+            assert_eq!(p, root.reseed(d), "reseed is deterministic");
+        }
+    }
+
+    #[test]
+    fn params_hash_tracks_every_knob() {
+        let root = FamilyParams::default();
+        assert_eq!(root.content_hash(), root.clone().content_hash());
+        let variations = [
+            FamilyParams { seed: 7, ..root.clone() },
+            FamilyParams { intensity: 0.9, ..root.clone() },
+            FamilyParams { variants: 5, ..root.clone() },
+            FamilyParams { horizon_days: 12, ..root.clone() },
+        ];
+        let hashes: BTreeSet<u64> = std::iter::once(root.content_hash())
+            .chain(variations.iter().map(|p| p.content_hash()))
+            .collect();
+        assert_eq!(hashes.len(), 5, "every knob moves the hash");
     }
 
     #[test]

@@ -31,10 +31,12 @@
 
 pub mod blueprint;
 pub mod cache;
+pub mod compose;
 pub mod families;
 pub mod script;
 
 pub use blueprint::ScenarioBlueprint;
 pub use cache::{global_cache, SharedWorldCache, WorldCache};
+pub use compose::{compose, merge_scripts, ComposeError};
 pub use families::{Family, FamilyParams};
 pub use script::{AsTarget, CableTarget, DisasterSite, ScriptStep};

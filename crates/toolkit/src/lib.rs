@@ -22,11 +22,13 @@ pub mod analysis;
 pub mod catalog;
 pub mod data;
 pub mod disasters;
+pub mod metrics;
 pub mod resilience;
 pub mod runtime;
 pub mod scenarios;
 
 pub use catalog::{query_context, standard_registry};
+pub use metrics::QueryMetrics;
 pub use resilience::{
     BreakerConfig, BreakerPhase, ResilienceConfig, ResilienceStats, ResilientRuntime,
 };

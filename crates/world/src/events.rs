@@ -77,6 +77,59 @@ impl EventKind {
     pub fn is_control_plane(&self) -> bool {
         matches!(self, EventKind::PrefixHijack { .. } | EventKind::RouteLeak { .. })
     }
+
+    /// Appends the event's content as stable hash words (a discriminant
+    /// followed by every field, floats by bit pattern). Two kinds push
+    /// the same words iff they compare equal — provenance hashing and
+    /// deterministic script merging both build on this.
+    pub fn push_content_words(&self, out: &mut Vec<u64>) {
+        match self {
+            EventKind::CableCut { cable } => {
+                out.extend([1, cable.0 as u64]);
+            }
+            EventKind::SegmentCut { cable, segment } => {
+                out.extend([2, cable.0 as u64, *segment as u64]);
+            }
+            EventKind::Earthquake { footprint, failure_prob } => {
+                out.extend([3]);
+                push_circle_words(footprint, *failure_prob, out);
+            }
+            EventKind::Hurricane { footprint, failure_prob } => {
+                out.extend([4]);
+                push_circle_words(footprint, *failure_prob, out);
+            }
+            EventKind::CongestionSurge { from, to, extra_ms } => {
+                out.extend([5, *from as u64, *to as u64, extra_ms.to_bits()]);
+            }
+            EventKind::PrefixHijack { origin, victim_prefix } => {
+                out.extend([
+                    6,
+                    origin.0 as u64,
+                    victim_prefix.network().0 as u64,
+                    victim_prefix.len() as u64,
+                ]);
+            }
+            EventKind::RouteLeak { leaker } => {
+                out.extend([7, leaker.0 as u64]);
+            }
+        }
+    }
+
+    /// The event content folded into one stable word.
+    pub fn content_hash(&self) -> u64 {
+        let mut words = Vec::new();
+        self.push_content_words(&mut words);
+        stable_hash(&words)
+    }
+}
+
+fn push_circle_words(footprint: &GeoCircle, failure_prob: f64, out: &mut Vec<u64>) {
+    out.extend([
+        footprint.center.lat().to_bits(),
+        footprint.center.lon().to_bits(),
+        footprint.radius_km.to_bits(),
+        failure_prob.to_bits(),
+    ]);
 }
 
 /// A timeline event.

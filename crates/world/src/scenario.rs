@@ -79,6 +79,33 @@ impl Scenario {
         self
     }
 
+    /// Content identity of the whole scenario: world config hash, the
+    /// observation window, "now", and every timeline event (id, kind,
+    /// bounds) folded through [`stable_hash`]. Two scenarios hash equal
+    /// iff a replay from their specs produces identical measurement
+    /// records — this is the word a campaign provenance record stamps
+    /// on every query result.
+    pub fn content_hash(&self) -> u64 {
+        let mut words = vec![
+            0x5343_454E_4152_494F, // "SCENARIO"
+            self.world.config.content_hash(),
+            self.now.0 as u64,
+            self.horizon.start.0 as u64,
+            self.horizon.end.0 as u64,
+            self.events.len() as u64,
+        ];
+        for ev in &self.events {
+            words.push(ev.id.0 as u64);
+            ev.kind.push_content_words(&mut words);
+            words.push(ev.at.0 as u64);
+            words.push(match ev.until {
+                Some(t) => t.0 as u64 ^ 0x554E_5449_4C00_0001,
+                None => 0x4F50_454E_5F45_4E44,
+            });
+        }
+        crate::events::stable_hash(&words)
+    }
+
     /// The serializable spec for this scenario.
     pub fn spec(&self) -> ScenarioSpec {
         ScenarioSpec {
@@ -401,6 +428,24 @@ mod tests {
         assert_eq!(mid.leakers, vec![hijacker]);
         // Leak window closed again: same state as the hijack-only instant.
         assert_eq!(s.control_plane_at(s.now - SimDuration::hours(1)), early);
+    }
+
+    #[test]
+    fn content_hash_tracks_timeline_identity() {
+        let world = Arc::new(small_world());
+        let at = SimTime::EPOCH + SimDuration::days(2);
+        let cable = world.cables[0].id;
+
+        let quiet = Scenario::quiet(Arc::clone(&world), 10);
+        let cut = Scenario::quiet(Arc::clone(&world), 10)
+            .with_event(EventKind::CableCut { cable }, at);
+        let later =
+            Scenario::quiet(world, 10).with_event(EventKind::CableCut { cable }, at + SimDuration::hours(1));
+
+        assert_eq!(quiet.content_hash(), quiet.clone().content_hash());
+        assert_eq!(cut.content_hash(), cut.clone().content_hash());
+        assert_ne!(quiet.content_hash(), cut.content_hash());
+        assert_ne!(cut.content_hash(), later.content_hash(), "event timing is content");
     }
 
     #[test]
