@@ -45,6 +45,10 @@ pub struct ProvenanceRecord {
     pub fault_seed: Option<u64>,
     /// Stable hash of the query text.
     pub query_hash: u64,
+    /// Content hash of the run's deterministic trace, when the campaign
+    /// ran with tracing enabled ([`telemetry::Recorder::trace_hash`]) —
+    /// links the provenance stamp to the exported trace artifact.
+    pub trace_hash: Option<u64>,
 }
 
 impl ProvenanceRecord {
@@ -65,6 +69,10 @@ impl ProvenanceRecord {
                 None => 0x4E4F_5F46_4155_4C54, // "NO_FAULT"
             },
             self.query_hash,
+            match self.trace_hash {
+                Some(hash) => hash ^ 0x5452_4143_4500_0001,
+                None => 0x4E4F_5F54_5241_4345, // "NO_TRACE"
+            },
         ])
     }
 }
@@ -84,6 +92,7 @@ mod tests {
             draw: 0,
             fault_seed: None,
             query_hash: 4,
+            trace_hash: None,
         }
     }
 
@@ -100,6 +109,7 @@ mod tests {
             ProvenanceRecord { draw: 9, ..record() },
             ProvenanceRecord { fault_seed: Some(0), ..record() },
             ProvenanceRecord { query_hash: 9, ..record() },
+            ProvenanceRecord { trace_hash: Some(0), ..record() },
         ];
         let mut hashes = vec![base.content_hash()];
         hashes.extend(variants.iter().map(|r| r.content_hash()));
@@ -117,7 +127,7 @@ mod tests {
 
     #[test]
     fn records_roundtrip_through_json() {
-        let r = record();
+        let r = ProvenanceRecord { trace_hash: Some(7), ..record() };
         let json = serde_json::to_string(&r).expect("serializes");
         let back: ProvenanceRecord = serde_json::from_str(&json).expect("parses");
         assert_eq!(r, back);

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use arachnet::{Engine, PipelineError, RegistrationStats};
+use telemetry::{MetricsSnapshot, Recorder};
 use toolkit::QueryMetrics;
 use workflow::RunHealth;
 use world::Scenario;
@@ -45,6 +46,12 @@ pub struct QueryOutcome {
     pub metrics: QueryMetrics,
     /// Transient-failure retries this run spent.
     pub retries: usize,
+    /// Logical backoff ticks those retries accumulated.
+    pub backoff_ticks: u64,
+    /// Content hash of this run's deterministic trace, when the campaign
+    /// ran with [`CampaignRunner::with_tracing`] — equal hashes mean
+    /// byte-identical traces.
+    pub trace_hash: Option<u64>,
     /// The pipeline error, when the session could not serve the query at
     /// all (such outcomes count as `Failed` in the scorecard).
     pub error: Option<String>,
@@ -61,6 +68,10 @@ pub struct CampaignReport {
     /// `mismatched` means the spec's keys collided with different
     /// timelines already registered on the engine).
     pub registration: RegistrationStats,
+    /// Campaign-level metrics snapshot: `campaign.*` counters derived
+    /// from the scorecard fold plus `registration.*` counters — one fold,
+    /// deterministic at any worker count.
+    pub metrics: MetricsSnapshot,
 }
 
 impl CampaignReport {
@@ -85,17 +96,26 @@ struct Task {
 pub struct CampaignRunner<'a> {
     engine: &'a Engine,
     workers: usize,
+    tracing: bool,
 }
 
 impl<'a> CampaignRunner<'a> {
     pub fn new(engine: &'a Engine) -> CampaignRunner<'a> {
-        CampaignRunner { engine, workers: workflow::exec::default_workers() }
+        CampaignRunner { engine, workers: workflow::exec::default_workers(), tracing: false }
     }
 
     /// Overrides the campaign-level worker count (each worker serves its
     /// own slice of the task list through its own sessions).
     pub fn with_workers(mut self, workers: usize) -> CampaignRunner<'a> {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables per-query tracing: every task gets its own fresh
+    /// [`telemetry::Recorder`], and each outcome (and its provenance
+    /// stamp) carries the resulting trace content hash.
+    pub fn with_tracing(mut self, tracing: bool) -> CampaignRunner<'a> {
+        self.tracing = tracing;
         self
     }
 
@@ -134,9 +154,15 @@ impl<'a> CampaignRunner<'a> {
         let outcomes = self.serve(&tasks);
         let mut builder = ScorecardBuilder::default();
         for outcome in &outcomes {
-            builder.record(&outcome.health, &outcome.metrics, outcome.retries);
+            builder.record_run(
+                &outcome.health,
+                &outcome.metrics,
+                outcome.retries,
+                outcome.backoff_ticks,
+            );
         }
-        CampaignReport { outcomes, scorecard: builder.finish(), registration }
+        let (scorecard, metrics) = builder.finish_with_metrics(&registration);
+        CampaignReport { outcomes, scorecard, registration, metrics }
     }
 
     /// Serves the task list across the worker pool: slot `i` holds task
@@ -160,11 +186,15 @@ impl<'a> CampaignRunner<'a> {
         slots.into_iter().flatten().collect()
     }
 
-    /// Serves one task through its own engine session.
+    /// Serves one task through its own engine session. With tracing
+    /// enabled the task gets a fresh recorder, so its trace covers
+    /// exactly this session span and hashes independently of whichever
+    /// worker (or neighbor task) ran first.
     fn execute(&self, task: &Task) -> QueryOutcome {
         let fault_seed = self.engine.fault_plan().map(|plan| plan.seed);
+        let recorder = if self.tracing { Some(Arc::new(Recorder::new())) } else { None };
         let scenario = &task.scenario;
-        let provenance = |epoch: u64| ProvenanceRecord {
+        let provenance = |epoch: u64, trace_hash: Option<u64>| ProvenanceRecord {
             scenario_key: task.key.clone(),
             scenario_hash: scenario.content_hash(),
             world_hash: scenario.world.config.content_hash(),
@@ -174,33 +204,53 @@ impl<'a> CampaignRunner<'a> {
             draw: task.draw,
             fault_seed,
             query_hash: str_words(&task.query),
+            trace_hash,
         };
-        let failed = |epoch: u64, error: PipelineError| QueryOutcome {
-            provenance: provenance(epoch),
+        let failed = |epoch: u64, error: PipelineError, trace_hash: Option<u64>| QueryOutcome {
+            provenance: provenance(epoch, trace_hash),
             query: task.query.clone(),
             health: RunHealth::Failed { failed_steps: Vec::new() },
             metrics: QueryMetrics::default(),
             retries: 0,
+            backoff_ticks: 0,
+            trace_hash,
             error: Some(error.to_string()),
         };
+        let trace_of = |recorder: &Option<Arc<Recorder>>| {
+            recorder.as_ref().map(|r| r.trace_hash())
+        };
         let session = match self.engine.session(&task.key) {
-            Ok(session) => session,
-            Err(e) => return failed(self.engine.epoch().sequence, e),
+            Ok(session) => match &recorder {
+                Some(rec) => session.with_recorder(Arc::clone(rec)),
+                None => session,
+            },
+            Err(e) => {
+                let trace_hash = trace_of(&recorder);
+                return failed(self.engine.epoch().sequence, e, trace_hash);
+            }
         };
         let epoch = session.epoch_sequence();
         let horizon_days =
             (scenario.horizon.duration().as_seconds() / 86_400).max(1);
         let context = toolkit::query_context(&scenario.world, scenario.now, horizon_days);
         match session.run(&task.query, &context) {
-            Ok(run) => QueryOutcome {
-                provenance: provenance(epoch),
-                query: task.query.clone(),
-                metrics: QueryMetrics::extract(&run.solution.workflow, &run.report),
-                retries: run.report.retries,
-                health: run.health,
-                error: None,
-            },
-            Err(e) => failed(epoch, e),
+            Ok(run) => {
+                let trace_hash = trace_of(&recorder);
+                QueryOutcome {
+                    provenance: provenance(epoch, trace_hash),
+                    query: task.query.clone(),
+                    metrics: QueryMetrics::extract(&run.solution.workflow, &run.report),
+                    retries: run.report.retries,
+                    backoff_ticks: run.report.backoff_ticks,
+                    health: run.health,
+                    trace_hash,
+                    error: None,
+                }
+            }
+            Err(e) => {
+                let trace_hash = trace_of(&recorder);
+                failed(epoch, e, trace_hash)
+            }
         }
     }
 }
@@ -278,6 +328,31 @@ mod tests {
         assert_eq!(second.registration.fresh, 0);
         assert_eq!(second.registration.kept_existing, 2);
         assert_eq!(second.registration.mismatched, 0);
+    }
+
+    #[test]
+    fn tracing_stamps_outcomes_with_reproducible_trace_hashes() {
+        let engine = engine();
+        let runner = CampaignRunner::new(&engine).with_workers(2).with_tracing(true);
+        let first = runner.run(&small_spec());
+        let second = runner.run(&small_spec());
+        for outcome in &first.outcomes {
+            assert!(outcome.trace_hash.is_some(), "tracing stamps every outcome");
+            assert_eq!(outcome.trace_hash, outcome.provenance.trace_hash);
+        }
+        let hashes = |report: &CampaignReport| {
+            report.outcomes.iter().map(|o| o.trace_hash).collect::<Vec<_>>()
+        };
+        assert_eq!(hashes(&first), hashes(&second), "traces replay bit-identically");
+        // The campaign metrics fold mirrors the scorecard and the
+        // registration delta for this run.
+        assert_eq!(first.metrics.counter("campaign.queries"), 2);
+        assert_eq!(first.metrics.counter("campaign.failed"), 0);
+        assert_eq!(first.metrics.counter("registration.fresh"), 2);
+        assert_eq!(second.metrics.counter("registration.kept_existing"), 2);
+        // Without tracing the stamp stays empty.
+        let untraced = CampaignRunner::new(&engine).run(&small_spec());
+        assert!(untraced.outcomes.iter().all(|o| o.trace_hash.is_none()));
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //!   not sleeps.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use registry::{DataFormat, FunctionId};
+use telemetry::{EventKind, Recorder};
 use workflow::exec::{InvokeContext, ToolError, ToolRuntime, Value};
 
 /// What kind of fault a function is scheduled to exhibit.
@@ -148,6 +150,8 @@ pub struct ChaosRuntime<R> {
     stats: Mutex<ChaosStats>,
     /// Invocation counters for the context-free `invoke` path.
     counters: Mutex<BTreeMap<FunctionId, u32>>,
+    /// Optional telemetry sink: injection decisions become trace events.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<R: ToolRuntime> ChaosRuntime<R> {
@@ -157,7 +161,16 @@ impl<R: ToolRuntime> ChaosRuntime<R> {
             plan,
             stats: Mutex::new(ChaosStats::default()),
             counters: Mutex::new(BTreeMap::new()),
+            recorder: None,
         }
+    }
+
+    /// Attach a telemetry recorder: every injection decision is buffered
+    /// as a trace event keyed by `(step, attempt)` — deterministic,
+    /// because injection itself is a pure function of that key.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> ChaosRuntime<R> {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The wrapped runtime.
@@ -175,6 +188,18 @@ impl<R: ToolRuntime> ChaosRuntime<R> {
         *self.stats.lock()
     }
 
+    /// Buffer a trace event for the invocation `(salt, attempt)` when the
+    /// call has executor context, or just count it when it does not.
+    fn note(&self, has_context: bool, salt: &str, attempt: u32, kind: EventKind) {
+        if let Some(recorder) = &self.recorder {
+            if has_context {
+                recorder.emit_invocation(salt, attempt, kind);
+            } else {
+                recorder.count_event(&kind);
+            }
+        }
+    }
+
     fn injected_failure(&self, function: &FunctionId, transient: bool) -> ToolError {
         self.stats.lock().injected_failures += 1;
         let flavor = if transient { "transient" } else { "persistent" };
@@ -190,6 +215,7 @@ impl<R: ToolRuntime> ChaosRuntime<R> {
     /// `attempt` is the retry attempt for scheduled transient faults.
     fn dispatch(
         &self,
+        has_context: bool,
         salt: &str,
         attempt: u32,
         function: &FunctionId,
@@ -199,14 +225,32 @@ impl<R: ToolRuntime> ChaosRuntime<R> {
         let _ = args;
         match self.plan.faults.get(function) {
             Some(FaultKind::Transient { failures }) if attempt < *failures => {
+                self.note(
+                    has_context,
+                    salt,
+                    attempt,
+                    EventKind::FaultInjected { function: function.to_string(), transient: true },
+                );
                 return Err(self.injected_failure(function, true));
             }
             Some(FaultKind::Persistent) => {
+                self.note(
+                    has_context,
+                    salt,
+                    attempt,
+                    EventKind::FaultInjected { function: function.to_string(), transient: false },
+                );
                 return Err(self.injected_failure(function, false));
             }
             Some(FaultKind::Corrupt) => {
                 let _ = call(&self.inner)?;
                 self.stats.lock().corrupted_outputs += 1;
+                self.note(
+                    has_context,
+                    salt,
+                    attempt,
+                    EventKind::OutputCorrupted { function: function.to_string() },
+                );
                 return Ok(Value::new(
                     DataFormat::Text,
                     serde_json::json!(format!("chaos: corrupted output of {function}")),
@@ -214,10 +258,22 @@ impl<R: ToolRuntime> ChaosRuntime<R> {
             }
             Some(FaultKind::Slow { ticks }) => {
                 self.stats.lock().slow_ticks += ticks;
+                self.note(
+                    has_context,
+                    salt,
+                    attempt,
+                    EventKind::SlowTicks { function: function.to_string(), ticks: *ticks },
+                );
             }
             Some(FaultKind::Transient { .. }) | None => {}
         }
         if self.plan.background_fires(function, salt, attempt) {
+            self.note(
+                has_context,
+                salt,
+                attempt,
+                EventKind::FaultInjected { function: function.to_string(), transient: true },
+            );
             return Err(self.injected_failure(function, true));
         }
         self.stats.lock().passthrough += 1;
@@ -238,7 +294,7 @@ impl<R: ToolRuntime> ToolRuntime for ChaosRuntime<R> {
             *slot += 1;
             index
         };
-        self.dispatch(&format!("#{index}"), index, function, args, |inner| {
+        self.dispatch(false, &format!("#{index}"), index, function, args, |inner| {
             inner.invoke(function, args)
         })
     }
@@ -249,7 +305,7 @@ impl<R: ToolRuntime> ToolRuntime for ChaosRuntime<R> {
         function: &FunctionId,
         args: &BTreeMap<String, Value>,
     ) -> Result<Value, ToolError> {
-        self.dispatch(&ctx.step.0, ctx.attempt, function, args, |inner| {
+        self.dispatch(true, &ctx.step.0, ctx.attempt, function, args, |inner| {
             inner.invoke_with(ctx, function, args)
         })
     }

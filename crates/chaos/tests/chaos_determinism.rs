@@ -136,7 +136,7 @@ fn run(
         registry,
         &runtime,
         &BTreeMap::new(),
-        &ExecOptions { workers, retry },
+        &ExecOptions { workers, retry, recorder: None },
     );
     (report, runtime.stats())
 }

@@ -8,8 +8,16 @@ use crate::Workspace;
 /// platforms and worker counts. Unordered containers are banned there
 /// outright — even an un-iterated `HashMap` invites the next editor to
 /// iterate it.
-pub const DETERMINISTIC_CRATES: [&str; 7] =
-    ["world", "scenario-forge", "bgp-sim", "workflow", "registry", "chaos", "campaign"];
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
+    "world",
+    "scenario-forge",
+    "bgp-sim",
+    "workflow",
+    "registry",
+    "chaos",
+    "campaign",
+    "telemetry",
+];
 
 /// `no-unordered-iteration`: `HashMap`/`HashSet` in a deterministic
 /// crate. ROADMAP mandates `BTreeMap`/`BTreeSet` or sorted order.
@@ -22,8 +30,8 @@ impl Rule for NoUnorderedIteration {
 
     fn description(&self) -> &'static str {
         "HashMap/HashSet are banned in deterministic crates (world, scenario-forge, \
-         bgp-sim, workflow, registry, chaos, campaign); use BTreeMap/BTreeSet or \
-         sorted vectors"
+         bgp-sim, workflow, registry, chaos, campaign, telemetry); use \
+         BTreeMap/BTreeSet or sorted vectors"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -14,10 +14,14 @@ use crate::Workspace;
 /// propagation in the executor, "validated at registration" lookups) —
 /// shrink them as sites are burned down; never raise them without a
 /// written justification in the PR.
-pub const BUDGETS: [(&str, usize); 5] = [
+pub const BUDGETS: [(&str, usize); 6] = [
     // campaign runner: born clean — composition, ensembles and the
     // scorecard reduction all propagate errors; zero slack on purpose.
     ("campaign", 0),
+    // telemetry: born clean — the trace recorder sits on every serving
+    // path, so a panic here would take down otherwise-healthy queries;
+    // zero slack on purpose.
+    ("telemetry", 0),
     // fault-injection runtime: zero panic sites today; headroom of 2 for
     // genuine invariants only — injected faults must surface as
     // ToolError, never as panics.
@@ -44,9 +48,9 @@ impl Rule for PanicBudget {
     }
 
     fn description(&self) -> &'static str {
-        "serving-path crates (campaign, chaos, core, workflow, toolkit) have per-crate \
-         ceilings on unwrap()/expect()/panic! sites; prefer PipelineError/ToolError \
-         propagation"
+        "serving-path crates (campaign, telemetry, chaos, core, workflow, toolkit) \
+         have per-crate ceilings on unwrap()/expect()/panic! sites; prefer \
+         PipelineError/ToolError propagation"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

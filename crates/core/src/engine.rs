@@ -27,6 +27,7 @@ use llm::LanguageModel;
 use parking_lot::{Mutex, RwLock};
 use registry::Registry;
 use scenario_forge::{Family, FamilyParams, ScenarioBlueprint, SharedWorldCache};
+use telemetry::{EventKind, MetricsSnapshot, Recorder, SpanKind, SpanStatus};
 use toolkit::{ArtifactStore, ResilienceConfig, ResilientRuntime, StandardRuntime};
 use workflow::{
     execute_with, ExecOptions, ExecutionReport, RetryPolicy, RunHealth, Value, Workflow,
@@ -85,6 +86,10 @@ pub struct Engine {
     /// studies and benches in one process share one build per config;
     /// the view keeps deterministic per-engine generation stats.
     worlds: SharedWorldCache,
+    /// Optional telemetry recorder handed to every session (spans,
+    /// events, metrics) and to the serial registration lane (world-cache
+    /// probes, epoch publications).
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// Outcome of [`Engine::register_scenario`].
@@ -157,7 +162,17 @@ impl Engine {
             scenarios: Mutex::new(BTreeMap::new()),
             reg_stats: Mutex::new(RegistrationStats::default()),
             worlds: SharedWorldCache::over_global(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a deterministic telemetry recorder: sessions opened from
+    /// this engine record session/workflow/step/attempt spans and
+    /// resilience events into it, and the (serial) registration and
+    /// curation lanes record world-cache probes and epoch publications.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Engine {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Overrides the per-session executor worker count.
@@ -277,6 +292,21 @@ impl Engine {
             .iter()
             .map(|blueprint| {
                 let key = format!("{}/{}", prefix, blueprint.name);
+                if let Some(recorder) = &self.recorder {
+                    // Registration is the engine's serial lane, so the
+                    // warmth probe is safe to emit as a trace event; the
+                    // cache itself is process-global, so whether a config
+                    // is warm depends on what ran before in this process.
+                    let cache_key = format!("world:{:016x}", blueprint.config.content_hash());
+                    let warm = self.worlds.shared().get(&blueprint.config).is_some();
+                    if warm {
+                        recorder.counter_add("world_cache.hit", 1);
+                        recorder.emit(EventKind::CacheHit { key: cache_key });
+                    } else {
+                        recorder.counter_add("world_cache.miss", 1);
+                        recorder.emit(EventKind::CacheMiss { key: cache_key });
+                    }
+                }
                 let world = self.worlds.get_or_generate(&blueprint.config);
                 let registration = self.register_scenario(&key, blueprint.realize(world));
                 FamilyScenario {
@@ -342,6 +372,7 @@ impl Engine {
             retry: self.retry,
             fault_plan: self.fault_plan.clone(),
             resilience: self.resilience.clone(),
+            recorder: self.recorder.clone(),
         })
     }
 
@@ -361,10 +392,14 @@ impl Engine {
         let outcome =
             run_curation(&*self.model, &self.config, &mut next, corpus, min_uses)?;
         if !outcome.added.is_empty() {
+            let sequence = current.sequence + 1;
             *self.epoch.write() = Arc::new(RegistryEpoch {
-                sequence: current.sequence + 1,
+                sequence,
                 registry: Arc::new(next),
             });
+            if let Some(recorder) = &self.recorder {
+                recorder.emit(EventKind::EpochPublished { sequence });
+            }
         }
         Ok(outcome)
     }
@@ -379,6 +414,13 @@ pub struct SessionRun {
     /// enrichment — surviving outputs are trustworthy), or `Failed`.
     /// Callers distinguish "detector unavailable" from "no anomaly".
     pub health: RunHealth,
+}
+
+impl SessionRun {
+    /// The executor metrics for this run (see `ExecutionReport::metrics`).
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.report.metrics
+    }
 }
 
 /// One serving session: an epoch-pinned registry snapshot plus a shared
@@ -396,12 +438,21 @@ pub struct Session {
     retry: RetryPolicy,
     fault_plan: Option<FaultPlan>,
     resilience: Option<ResilienceConfig>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Session {
     /// The epoch this session pinned at open time.
     pub fn epoch_sequence(&self) -> u64 {
         self.epoch.sequence
+    }
+
+    /// Attaches (or replaces) a telemetry recorder for this session only
+    /// — campaigns use this to give every task its own recorder, so each
+    /// task's trace hashes independently.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Session {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The pinned registry snapshot.
@@ -418,7 +469,12 @@ impl Session {
     /// useful for executing externally supplied workflows (e.g. expert
     /// baselines) against the same cache.
     pub fn runtime(&self) -> StandardRuntime {
-        StandardRuntime::shared(Arc::clone(&self.scenario), Arc::clone(&self.artifacts))
+        let runtime =
+            StandardRuntime::shared(Arc::clone(&self.scenario), Arc::clone(&self.artifacts));
+        match &self.recorder {
+            Some(recorder) => runtime.with_recorder(Arc::clone(recorder)),
+            None => runtime,
+        }
     }
 
     /// Generates a solution for a query (standard mode).
@@ -479,34 +535,70 @@ impl Session {
         query_args: &BTreeMap<String, Value>,
     ) -> ExecutionReport {
         let registry = &self.epoch.registry;
-        let options = ExecOptions { workers: self.workers, retry: self.retry };
+        let options = ExecOptions {
+            workers: self.workers,
+            retry: self.retry,
+            recorder: self.recorder.clone(),
+        };
         match (&self.fault_plan, &self.resilience) {
             (None, None) => {
                 execute_with(workflow, registry, &self.runtime(), query_args, &options)
             }
             (Some(plan), None) => {
-                let rt = ChaosRuntime::new(self.runtime(), plan.clone());
+                let mut rt = ChaosRuntime::new(self.runtime(), plan.clone());
+                if let Some(recorder) = &self.recorder {
+                    rt = rt.with_recorder(Arc::clone(recorder));
+                }
                 execute_with(workflow, registry, &rt, query_args, &options)
             }
             (None, Some(config)) => {
-                let rt = ResilientRuntime::new(self.runtime(), config.clone());
+                let mut rt = ResilientRuntime::new(self.runtime(), config.clone());
+                if let Some(recorder) = &self.recorder {
+                    rt = rt.with_recorder(Arc::clone(recorder));
+                }
                 execute_with(workflow, registry, &rt, query_args, &options)
             }
             (Some(plan), Some(config)) => {
-                let rt = ResilientRuntime::new(
-                    ChaosRuntime::new(self.runtime(), plan.clone()),
-                    config.clone(),
-                );
+                let mut chaos_rt = ChaosRuntime::new(self.runtime(), plan.clone());
+                if let Some(recorder) = &self.recorder {
+                    chaos_rt = chaos_rt.with_recorder(Arc::clone(recorder));
+                }
+                let mut rt = ResilientRuntime::new(chaos_rt, config.clone());
+                if let Some(recorder) = &self.recorder {
+                    rt = rt.with_recorder(Arc::clone(recorder));
+                }
                 execute_with(workflow, registry, &rt, query_args, &options)
             }
         }
     }
 
-    /// Generates and executes in one call — the serving hot path.
+    /// Generates and executes in one call — the serving hot path. With a
+    /// recorder attached, the whole run is wrapped in a `Session` span
+    /// (named by the query) carrying the pinned epoch as an event; the
+    /// span closes with the run's health.
     pub fn run(&self, query: &str, context: &QueryContext) -> Result<SessionRun, PipelineError> {
-        let solution = self.generate(query, context)?;
+        if let Some(recorder) = &self.recorder {
+            recorder.begin_span(SpanKind::Session, query);
+            recorder.emit(EventKind::EpochPinned { sequence: self.epoch.sequence });
+        }
+        let solution = match self.generate(query, context) {
+            Ok(solution) => solution,
+            Err(e) => {
+                if let Some(recorder) = &self.recorder {
+                    recorder.end_span(SpanStatus::Failed);
+                }
+                return Err(e);
+            }
+        };
         let report = self.execute(&solution.workflow, &solution.query_args());
         let health = report.health.clone();
+        if let Some(recorder) = &self.recorder {
+            recorder.end_span(match &health {
+                RunHealth::Ok => SpanStatus::Ok,
+                RunHealth::Degraded { .. } => SpanStatus::Degraded,
+                RunHealth::Failed { .. } => SpanStatus::Failed,
+            });
+        }
         Ok(SessionRun { solution, report, health })
     }
 }

@@ -41,6 +41,13 @@ pub use chaos::{ChaosRuntime, ChaosStats, FaultKind, FaultPlan};
 pub use toolkit::{BreakerConfig, ResilienceConfig, ResilientRuntime};
 pub use workflow::{RetryPolicy, RunHealth};
 
+// Re-export the observability surface (PR 9): attach a `Recorder` via
+// `Engine::with_recorder` / `Session::with_recorder` and read traces,
+// events and metrics back out with one import.
+pub use telemetry::{
+    EventKind, MetricsSnapshot, Recorder, Span, SpanKind, SpanStatus, Trace,
+};
+
 // Re-export the protocol so downstream users see one coherent API.
 pub use llm::protocol;
 pub use llm::{DeterministicExpertModel, LanguageModel};

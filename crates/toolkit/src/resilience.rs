@@ -30,9 +30,11 @@
 //! trip sequences are pinned by their own sequential tests.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use registry::{FunctionId, Registry};
+use telemetry::{EventKind, Recorder};
 use workflow::exec::{InvokeContext, ToolError, ToolRuntime, Value};
 
 /// Counter-based breaker tuning.
@@ -102,6 +104,17 @@ enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Phase label for telemetry events.
+    fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "Closed",
+            BreakerState::Open { .. } => "Open",
+            BreakerState::HalfOpen => "HalfOpen",
+        }
+    }
+}
+
 /// Order-independent counters of what the resilience layer did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceStats {
@@ -119,6 +132,9 @@ pub struct ResilientRuntime<R> {
     config: ResilienceConfig,
     breakers: Mutex<BTreeMap<FunctionId, BreakerState>>,
     stats: Mutex<ResilienceStats>,
+    /// Optional telemetry sink: breaker transitions, sheds and fallback
+    /// substitutions become trace events.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<R: ToolRuntime> ResilientRuntime<R> {
@@ -128,6 +144,29 @@ impl<R: ToolRuntime> ResilientRuntime<R> {
             config,
             breakers: Mutex::new(BTreeMap::new()),
             stats: Mutex::new(ResilienceStats::default()),
+            recorder: None,
+        }
+    }
+
+    /// Attach a telemetry recorder. Events observed during an executor
+    /// invocation are buffered per `(step, attempt)` and drained into the
+    /// trace by the executor's deterministic fold; events on the
+    /// context-free `invoke` path are counted in metrics only. Breaker
+    /// transition *sequences* within one step's retry loop are serialized
+    /// (one thread) and therefore deterministic — see the module docs for
+    /// the cross-step caveat.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> ResilientRuntime<R> {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Buffer (with executor context) or count (without) a trace event.
+    fn note(&self, key: Option<(&str, u32)>, kind: EventKind) {
+        if let Some(recorder) = &self.recorder {
+            match key {
+                Some((step, attempt)) => recorder.emit_invocation(step, attempt, kind),
+                None => recorder.count_event(&kind),
+            }
         }
     }
 
@@ -153,36 +192,46 @@ impl<R: ToolRuntime> ResilientRuntime<R> {
 
     /// Decides, atomically, whether this invocation may reach the
     /// primary. Returns `false` when the circuit is open (the call must
-    /// be shed), advancing the cooldown counter as a side effect.
-    fn admit(&self, function: &FunctionId) -> bool {
+    /// be shed), advancing the cooldown counter as a side effect; the
+    /// second element reports an Open→HalfOpen transition for telemetry.
+    fn admit(&self, function: &FunctionId) -> (bool, Option<(&'static str, &'static str)>) {
         let mut breakers = self.breakers.lock();
         let state = breakers
             .entry(function.clone())
             .or_insert(BreakerState::Closed { consecutive_failures: 0 });
         match *state {
-            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => (true, None),
             BreakerState::Open { remaining_cooldown } => {
-                if remaining_cooldown <= 1 {
+                let transition = if remaining_cooldown <= 1 {
                     *state = BreakerState::HalfOpen;
+                    Some(("Open", "HalfOpen"))
                 } else {
                     *state = BreakerState::Open { remaining_cooldown: remaining_cooldown - 1 };
-                }
-                false
+                    None
+                };
+                (false, transition)
             }
         }
     }
 
-    /// Records a primary outcome and advances the breaker.
-    fn record(&self, function: &FunctionId, failed: bool) {
+    /// Records a primary outcome and advances the breaker, returning the
+    /// phase transition (if any) for telemetry.
+    fn record(
+        &self,
+        function: &FunctionId,
+        failed: bool,
+    ) -> Option<(&'static str, &'static str)> {
         let open = BreakerState::Open {
             remaining_cooldown: self.config.breaker.cooldown_invocations.max(1),
         };
         let mut tripped = false;
+        let transition;
         {
             let mut breakers = self.breakers.lock();
             let state = breakers
                 .entry(function.clone())
                 .or_insert(BreakerState::Closed { consecutive_failures: 0 });
+            let from = state.label();
             *state = match (*state, failed) {
                 (BreakerState::Closed { consecutive_failures }, true) => {
                     if consecutive_failures + 1 >= self.config.breaker.trip_after {
@@ -199,24 +248,49 @@ impl<R: ToolRuntime> ResilientRuntime<R> {
                 (_, false) => BreakerState::Closed { consecutive_failures: 0 },
                 (still_open @ BreakerState::Open { .. }, true) => still_open,
             };
+            let to = state.label();
+            transition = if from != to { Some((from, to)) } else { None };
         }
         if tripped {
             self.stats.lock().trips += 1;
         }
+        transition
     }
 
     /// The shared serving path: breaker admission, primary invocation,
-    /// fallback substitution.
+    /// fallback substitution. `key` is the executor invocation context
+    /// (step id, attempt) when available, used to attach telemetry
+    /// events to the right attempt span.
     fn dispatch(
         &self,
+        key: Option<(&str, u32)>,
         function: &FunctionId,
         call: impl Fn(&R, &FunctionId) -> Result<Value, ToolError>,
     ) -> Result<Value, ToolError> {
         let fallback = self.config.fallbacks.get(function);
-        if !self.admit(function) {
+        let (admitted, transition) = self.admit(function);
+        if let Some((from, to)) = transition {
+            self.note(
+                key,
+                EventKind::BreakerTransition {
+                    function: function.to_string(),
+                    from: from.to_string(),
+                    to: to.to_string(),
+                },
+            );
+        }
+        if !admitted {
             self.stats.lock().shed += 1;
+            self.note(key, EventKind::CallShed { function: function.to_string() });
             if let Some(substitute) = fallback {
                 self.stats.lock().fallback_invocations += 1;
+                self.note(
+                    key,
+                    EventKind::FallbackInvoked {
+                        function: function.to_string(),
+                        substitute: substitute.to_string(),
+                    },
+                );
                 return call(&self.inner, substitute);
             }
             return Err(ToolError::Failed {
@@ -232,10 +306,26 @@ impl<R: ToolRuntime> ResilientRuntime<R> {
         }
         let primary = call(&self.inner, function);
         let failed = matches!(primary, Err(ToolError::Failed { .. }));
-        self.record(function, failed);
+        if let Some((from, to)) = self.record(function, failed) {
+            self.note(
+                key,
+                EventKind::BreakerTransition {
+                    function: function.to_string(),
+                    from: from.to_string(),
+                    to: to.to_string(),
+                },
+            );
+        }
         match (primary, fallback) {
             (Err(ToolError::Failed { .. }), Some(substitute)) => {
                 self.stats.lock().fallback_invocations += 1;
+                self.note(
+                    key,
+                    EventKind::FallbackInvoked {
+                        function: function.to_string(),
+                        substitute: substitute.to_string(),
+                    },
+                );
                 call(&self.inner, substitute)
             }
             (other, _) => other,
@@ -249,7 +339,7 @@ impl<R: ToolRuntime> ToolRuntime for ResilientRuntime<R> {
         function: &FunctionId,
         args: &BTreeMap<String, Value>,
     ) -> Result<Value, ToolError> {
-        self.dispatch(function, |inner, f| inner.invoke(f, args))
+        self.dispatch(None, function, |inner, f| inner.invoke(f, args))
     }
 
     fn invoke_with(
@@ -258,7 +348,9 @@ impl<R: ToolRuntime> ToolRuntime for ResilientRuntime<R> {
         function: &FunctionId,
         args: &BTreeMap<String, Value>,
     ) -> Result<Value, ToolError> {
-        self.dispatch(function, |inner, f| inner.invoke_with(ctx, f, args))
+        self.dispatch(Some((&ctx.step.0, ctx.attempt)), function, |inner, f| {
+            inner.invoke_with(ctx, f, args)
+        })
     }
 }
 

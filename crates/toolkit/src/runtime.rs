@@ -124,6 +124,11 @@ pub struct StandardRuntime {
     /// World-level artifacts (mapping run, default deps): shared by every
     /// scenario over this world — see [`world_artifacts`].
     world_artifacts: Arc<ArtifactStore>,
+    /// Optional telemetry sink: cached-artifact probes become
+    /// `artifact_cache.hit` / `artifact_cache.miss` counters. Counters
+    /// only — store warmth is process-global and arrival-order dependent,
+    /// so cache probes must never enter the (byte-stable) trace.
+    recorder: Option<Arc<telemetry::Recorder>>,
 }
 
 impl StandardRuntime {
@@ -138,7 +143,33 @@ impl StandardRuntime {
     /// artifacts are computed once across all concurrent sessions.
     pub fn shared(scenario: Arc<Scenario>, artifacts: Arc<ArtifactStore>) -> Self {
         let world_artifacts = world_artifacts(&scenario.world);
-        StandardRuntime { scenario, artifacts, world_artifacts }
+        StandardRuntime { scenario, artifacts, world_artifacts, recorder: None }
+    }
+
+    /// Attach a telemetry recorder (cache hit/miss counters).
+    pub fn with_recorder(mut self, recorder: Arc<telemetry::Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// `get_or_build` with hit/miss accounting: the build closure runs
+    /// only on a cold slot, so whether it ran *is* the miss signal.
+    fn cached(
+        &self,
+        store: &ArtifactStore,
+        key: &str,
+        build: impl FnOnce() -> Result<Value, ToolError>,
+    ) -> Result<Value, ToolError> {
+        let mut built = false;
+        let result = store.get_or_build(key, || {
+            built = true;
+            build()
+        });
+        if let Some(recorder) = &self.recorder {
+            let counter = if built { "artifact_cache.miss" } else { "artifact_cache.hit" };
+            recorder.counter_add(counter, 1);
+        }
+        result
     }
 
     /// The scenario under measurement.
@@ -160,7 +191,7 @@ impl StandardRuntime {
     // -- cached artifacts ---------------------------------------------------
 
     fn mapping_value(&self) -> Result<Value, ToolError> {
-        self.world_artifacts.get_or_build("nautilus.mapping", || {
+        self.cached(&self.world_artifacts, "nautilus.mapping", || {
             let table = NautilusMapper::new(MappingConfig::default())
                 .map_world(&self.scenario.world);
             Ok(Value::native(F::MappingTable, table, false))
@@ -173,7 +204,7 @@ impl StandardRuntime {
         // Both are pure functions of the world, so they live in the
         // world-keyed store.
         let mapping = self.mapping_value()?;
-        self.world_artifacts.get_or_build("nautilus.default_deps", || {
+        self.cached(&self.world_artifacts, "nautilus.default_deps", || {
             let m: ValueView<'_, MappingTable> = view_of(&mapping, "cached mapping")?;
             let deps = DependencyTable::from_mapping(&self.scenario.world, &m, 0.2);
             Ok(Value::native(F::DependencyTable, deps, false))
@@ -181,7 +212,7 @@ impl StandardRuntime {
     }
 
     fn updates_value(&self) -> Result<Value, ToolError> {
-        self.artifacts.get_or_build("bgp.updates_full", || {
+        self.cached(&self.artifacts, "bgp.updates_full", || {
             let sim = BgpSimulator::new(&self.scenario);
             let updates = sim.updates();
             let empty = updates.is_empty();
@@ -193,7 +224,7 @@ impl StandardRuntime {
         // The collector RIB at the horizon start: the MOAS detector's
         // baseline. Scenario-level (the timeline could in principle start
         // with an already-active incident).
-        self.artifacts.get_or_build("bgp.rib_baseline", || {
+        self.cached(&self.artifacts, "bgp.rib_baseline", || {
             let sim = BgpSimulator::new(&self.scenario);
             let rib = bgp_sim::RibSnapshot::capture(
                 &self.scenario,

@@ -21,10 +21,11 @@
 //! (skip) their dependents instead of aborting the whole run.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use registry::{FunctionId, Registry};
 use serde::{Deserialize, Serialize};
+use telemetry::{MetricsRegistry, MetricsSnapshot, Recorder, SpanStatus, StepObservation};
 
 use crate::{Binding, StepId, Workflow};
 
@@ -204,6 +205,10 @@ pub struct ExecutionReport {
     pub backoff_ticks: u64,
     /// Health classification of the run.
     pub health: RunHealth,
+    /// Executor metrics for this run (step counters plus the
+    /// `exec.step_ticks` logical-duration histogram). Always populated
+    /// from the deterministic fold, recorder or not.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ExecutionReport {
@@ -261,11 +266,20 @@ pub struct ExecOptions {
     pub workers: usize,
     /// Retry budget for transient tool failures.
     pub retry: RetryPolicy,
+    /// Optional deterministic trace/metrics collector. When present, the
+    /// executor's fold assembles workflow/step/attempt spans (in workflow
+    /// list order, so traces are byte-identical at any worker count) and
+    /// runtime wrappers attach their buffered invocation events.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { workers: default_workers(), retry: RetryPolicy::default() }
+        ExecOptions {
+            workers: default_workers(),
+            retry: RetryPolicy::default(),
+            recorder: None,
+        }
     }
 }
 
@@ -446,21 +460,60 @@ pub fn execute_with(
     let mut qa: Vec<QaFinding> = Vec::new();
     let (mut executed, mut failed, mut poisoned) = (0usize, 0usize, 0usize);
     let (mut retries, mut backoff_ticks) = (0usize, 0u64);
+    let mut exec_metrics = MetricsRegistry::new();
+    let mut observations: Vec<StepObservation> = Vec::with_capacity(n);
     for (i, step) in steps.iter().enumerate() {
         let outcome = outcomes[i].get().expect("all steps completed");
         if outcome.invoked {
             executed += 1;
         }
-        match &outcome.result {
-            StepResult::Failed(_) => failed += 1,
-            StepResult::Poisoned { .. } => poisoned += 1,
-            StepResult::Ok(_) => {}
-        }
+        let (status, poison_roots) = match &outcome.result {
+            StepResult::Ok(_) => (SpanStatus::Ok, Vec::new()),
+            StepResult::Failed(_) => {
+                failed += 1;
+                (SpanStatus::Failed, Vec::new())
+            }
+            StepResult::Poisoned { failed_dependencies } => {
+                poisoned += 1;
+                let roots = failed_dependencies.iter().map(|id| id.0.clone()).collect();
+                (SpanStatus::Poisoned, roots)
+            }
+        };
         retries += outcome.retries;
         backoff_ticks += outcome.backoff_ticks;
+        // Per-step logical duration: one tick per attempt plus the
+        // backoff ticks between attempts; a never-invoked step costs one.
+        let step_ticks = if outcome.invoked {
+            outcome.retries as u64 + 1 + outcome.backoff_ticks
+        } else {
+            1
+        };
+        exec_metrics.observe("exec.step_ticks", 0, 64, 8, step_ticks);
+        if options.recorder.is_some() {
+            observations.push(StepObservation {
+                step: step.id.0.clone(),
+                function: step.function.to_string(),
+                invoked: outcome.invoked,
+                retries: outcome.retries as u32,
+                status,
+                poison_roots,
+            });
+        }
         qa.extend(outcome.qa.iter().cloned());
         results.insert(step.id.clone(), outcome.result.clone());
         critical.insert(&step.id, step.critical);
+    }
+
+    exec_metrics.add("exec.steps", n as u64);
+    exec_metrics.add("exec.executed", executed as u64);
+    exec_metrics.add("exec.failed", failed as u64);
+    exec_metrics.add("exec.poisoned", poisoned as u64);
+    exec_metrics.add("exec.retries", retries as u64);
+    exec_metrics.add("exec.backoff_ticks", backoff_ticks);
+    exec_metrics.add("exec.qa_findings", qa.len() as u64);
+
+    if let Some(recorder) = &options.recorder {
+        recorder.record_workflow(&workflow.id, options.retry.backoff_base_ticks, &observations);
     }
 
     let outputs: BTreeMap<StepId, Value> = workflow
@@ -471,7 +524,19 @@ pub fn execute_with(
 
     let health = compute_health(&results, &critical);
 
-    ExecutionReport { results, outputs, qa, executed, failed, poisoned, retries, backoff_ticks, health }
+    let metrics = exec_metrics.snapshot();
+    ExecutionReport {
+        results,
+        outputs,
+        qa,
+        executed,
+        failed,
+        poisoned,
+        retries,
+        backoff_ticks,
+        health,
+        metrics,
+    }
 }
 
 /// Classifies run health from the canonical results: Ok when nothing
@@ -1065,7 +1130,7 @@ mod tests {
             &registry(),
             &TransientRuntime { fail_attempts: 2 },
             &BTreeMap::new(),
-            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(3) },
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(3), ..Default::default() },
         );
         assert!(report.all_ok(), "qa: {:?}", report.qa);
         assert_eq!(report.health, RunHealth::Ok);
@@ -1087,7 +1152,7 @@ mod tests {
             &registry(),
             &TransientRuntime { fail_attempts: 5 },
             &BTreeMap::new(),
-            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(1) },
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(1), ..Default::default() },
         );
         assert_eq!(report.failed, 1);
         assert_eq!(report.retries, 1);
@@ -1105,7 +1170,7 @@ mod tests {
             &registry(),
             &ToyRuntime,
             &BTreeMap::new(),
-            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(5) },
+            &ExecOptions { workers: 1, retry: RetryPolicy::with_retries(5), ..Default::default() },
         );
         assert_eq!(report.failed, 1);
         assert_eq!(report.retries, 0, "transient: false skips the retry budget");
