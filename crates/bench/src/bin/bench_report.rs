@@ -1,7 +1,7 @@
 //! Bench trajectory: plain wall-clock medians for the substrate and
-//! serving hot paths, written as `BENCH_pr9.json` at the repo root (and
+//! serving hot paths, written as `BENCH_pr10.json` at the repo root (and
 //! uploaded as a CI artifact alongside the committed `BENCH_pr2.json`
-//! through `BENCH_pr8.json`).
+//! through `BENCH_pr9.json`).
 //!
 //! ```text
 //! cargo run --release -p benchkit --bin bench_report            # repo root
@@ -53,7 +53,10 @@
 //!   attempt buffered, spans assembled in the fold) vs the untraced run:
 //!   the recording tax, which the PR 9 acceptance pins at ≤2%;
 //! * `workflow/trace_export` — serializing a recorded trace to both
-//!   canonical JSON and the Chrome `trace_event` format.
+//!   canonical JSON and the Chrome `trace_event` format;
+//! * `conformance/scan_workspace` — the parallel incremental conformance
+//!   scanner (lex + item tree + all rules + crate graph) over the whole
+//!   workspace at per-CPU workers vs the serial scan.
 
 // conformance: allow(no-wall-clock, reason = "the bench report exists to measure wall time")
 use std::time::Instant;
@@ -86,7 +89,7 @@ fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| {
         // The binary lives in crates/bench; the trajectory file lives at
         // the repo root.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json").to_string()
     });
 
     let world = generate(&WorldConfig::default());
@@ -533,8 +536,35 @@ fn main() {
         "speedup": campaign_seq / campaign_par,
     }));
 
+    // --- PR 10: parallel conformance scan ---------------------------------
+    // The whole-workspace conformance scan (file collection, lexing, item
+    // trees, every file rule, the crate graph and the workspace rules) at
+    // per-CPU workers vs the serial scan. The scan_determinism suite pins
+    // the two byte-identical; this row records what the parallelism buys.
+    let scan_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let scan_serial = median_ms(5, || {
+        conformance::scan(scan_root).expect("workspace scans").findings.len()
+    });
+    let scan_par = median_ms(9, || {
+        conformance::scan::scan_parallel(scan_root, 0, None)
+            .expect("workspace scans")
+            .findings
+            .len()
+    });
+    let scan_workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let scan_speedup = scan_serial / scan_par;
+    benchmarks.push(json!({
+        "id": "conformance/scan_workspace",
+        "median_ms": scan_par,
+        "baseline": "the same scan run serially",
+        "baseline_median_ms": scan_serial,
+        "workers": scan_workers,
+        "speedup": scan_speedup,
+    }));
+
     let report = json!({
-        "pr": 9,
+        "pr": 10,
         "world": {
             "ases": world.ases.len(),
             "links": world.links.len(),

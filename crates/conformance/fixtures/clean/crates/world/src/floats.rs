@@ -1,0 +1,23 @@
+//! Clean fixture: total-ordered float comparison, explicitly rounded
+//! casts, and test-only float code the rule must not flag.
+
+pub fn rank(xs: &mut Vec<(f64, u32)>) {
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
+pub fn bucket(intensity: f64) -> usize {
+    (intensity * 8.0).trunc() as usize
+}
+
+pub fn nearest_hour(t: f64) -> i64 {
+    t.round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn partial_order_is_fine_in_tests() {
+        assert_eq!(1.0_f64.partial_cmp(&2.0), Some(std::cmp::Ordering::Less));
+        assert_eq!((2.9_f64) as usize, 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Clean fixture: shared state behind sequentially-consistent atomics
+//! and build-once slots — no ambient mutation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+pub static GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    GENERATIONS.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn table() -> &'static Vec<u64> {
+    static TABLE: OnceLock<Vec<u64>> = OnceLock::new();
+    TABLE.get_or_init(|| vec![1, 2, 3])
+}

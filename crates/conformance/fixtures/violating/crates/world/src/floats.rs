@@ -1,0 +1,10 @@
+//! Violating fixture: NaN-partial float comparison and a bare
+//! float-to-int cast in a deterministic crate.
+
+pub fn rank(xs: &mut Vec<(f64, u32)>) {
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn bucket(intensity: f64) -> usize {
+    (intensity * 8.0) as usize
+}

@@ -1,0 +1,14 @@
+//! Violating fixture: ambient shared mutation in a deterministic crate.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static mut COUNTER: u64 = 0;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+}
+
+pub fn peek(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}

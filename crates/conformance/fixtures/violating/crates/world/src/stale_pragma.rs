@@ -1,0 +1,7 @@
+//! Violating fixture: an allow pragma that suppresses nothing. Pragmas
+//! are shrink-only, like the baseline — a dead one is itself a finding.
+
+// conformance: allow(no-wall-clock, reason = "this helper never reads a clock")
+pub fn idle() -> u64 {
+    41 + 1
+}

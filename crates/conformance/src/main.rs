@@ -5,18 +5,24 @@
 //! cargo run -p conformance -- --deny-new        # CI mode: stale baseline entries fail too
 //! cargo run -p conformance -- --update-baseline # rewrite the baseline from this scan
 //! cargo run -p conformance -- --json report.json
+//! cargo run -p conformance -- --workers 4       # shard the scan (0 = one per CPU)
 //! ```
+//!
+//! The scan is sharded across workers and folded in path order, so its
+//! output is bit-identical at any `--workers` value (including the
+//! serial scan the library exposes).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use conformance::{scan, Baseline, BASELINE_PATH};
+use conformance::{Baseline, BASELINE_PATH};
 
 struct Args {
     root: PathBuf,
     deny_new: bool,
     update_baseline: bool,
     json_out: Option<PathBuf>,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         deny_new: false,
         update_baseline: false,
         json_out: None,
+        workers: 0, // one per available CPU
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -40,6 +47,12 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 let path = it.next().ok_or("--root requires a path")?;
                 args.root = PathBuf::from(path);
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers requires a count")?;
+                args.workers = n
+                    .parse()
+                    .map_err(|_| format!("--workers: `{n}` is not a count"))?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -56,7 +69,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = scan(&args.root);
+    let result = conformance::scan::scan_parallel(&args.root, args.workers, None);
     let scan = match result {
         Ok(s) => s,
         Err(e) => {

@@ -4,6 +4,7 @@
 use serde_json::{json, Value};
 
 use crate::baseline::BaselineOutcome;
+use crate::deps::CrateGraph;
 use crate::rules::{all_rules, Finding};
 use crate::Scan;
 
@@ -17,14 +18,51 @@ fn finding_json(f: &Finding) -> Value {
     })
 }
 
+/// The `deps` section: the crate DAG the `deterministic-closure` rule
+/// ran over, and whether the closure held.
+fn deps_json(graph: &CrateGraph, findings: &[Finding]) -> Value {
+    let packages: Vec<Value> = graph
+        .packages
+        .iter()
+        .map(|p| {
+            let path_deps: Vec<&str> = p
+                .deps
+                .iter()
+                .filter_map(|d| d.key.as_deref())
+                .collect();
+            json!({
+                "name": p.key,
+                "package": p.package,
+                "deterministic": p.deterministic,
+                "vendored": p.vendored,
+                "manifest": p.manifest,
+                "path_deps": path_deps,
+            })
+        })
+        .collect();
+    let deterministic: Vec<&str> = graph
+        .packages
+        .iter()
+        .filter(|p| p.deterministic)
+        .map(|p| p.key.as_str())
+        .collect();
+    let closure_ok =
+        !findings.iter().any(|f| f.rule == "deterministic-closure");
+    json!({
+        "packages": packages,
+        "deterministic": deterministic,
+        "closure_ok": closure_ok,
+    })
+}
+
 /// The machine-readable report (uploaded as a CI artifact alongside the
 /// BENCH trajectory files).
 pub fn to_json(scan: &Scan, outcome: &BaselineOutcome) -> Value {
     let rules: Vec<Value> = all_rules()
         .iter()
         .map(|r| {
-            let id = r.id();
-            let description = r.description();
+            let id = r.id;
+            let description = r.description;
             json!({ "id": id, "description": description })
         })
         .collect();
@@ -54,6 +92,10 @@ pub fn to_json(scan: &Scan, outcome: &BaselineOutcome) -> Value {
             json!({ "rule": rule, "file": file, "snippet": snippet, "count": count })
         })
         .collect();
+    let deps = match &scan.graph {
+        Some(graph) => deps_json(graph, &scan.findings),
+        None => Value::Null,
+    };
     json!({
         "tool": "conformance",
         "rules": rules,
@@ -62,6 +104,7 @@ pub fn to_json(scan: &Scan, outcome: &BaselineOutcome) -> Value {
         "baselined": baselined,
         "allowed": allowed,
         "stale_baseline_entries": stale,
+        "deps": deps,
     })
 }
 
@@ -90,6 +133,14 @@ pub fn render_text(scan: &Scan, outcome: &BaselineOutcome) -> String {
             "{}: [baseline-expired] entry for rule `{}` covers {} finding(s) that no \
              longer exist — shrink the baseline (`--update-baseline`)\n",
             e.file, e.rule, e.count,
+        ));
+    }
+    if let Some(graph) = &scan.graph {
+        let det = graph.packages.iter().filter(|p| p.deterministic).count();
+        out.push_str(&format!(
+            "conformance: crate graph: {} packages, {} deterministic\n",
+            graph.packages.len(),
+            det,
         ));
     }
     out.push_str(&format!(

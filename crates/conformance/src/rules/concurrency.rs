@@ -1,8 +1,8 @@
 //! Concurrency-discipline rule: scoped threads only, and no
 //! lock-and-push accumulation inside scoped sweeps.
 
-use super::{finding_at, Finding, Rule, SigView};
-use crate::Workspace;
+use super::{finding_at, FileRule, Finding, SigView};
+use crate::source::SourceFile;
 
 /// `scoped-threads-only`:
 ///
@@ -17,7 +17,7 @@ use crate::Workspace;
 ///    Collect per-shard vectors and merge them in shard index order.
 pub struct ScopedThreadsOnly;
 
-impl Rule for ScopedThreadsOnly {
+impl FileRule for ScopedThreadsOnly {
     fn id(&self) -> &'static str {
         "scoped-threads-only"
     }
@@ -27,37 +27,35 @@ impl Rule for ScopedThreadsOnly {
          accumulation inside scoped sweeps must be per-shard ordered merges"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
-            let sig = SigView::new(file);
-            let uses_scope =
-                (0..sig.len()).any(|i| sig.matches(i, &["thread", "::", "scope"]));
-            for i in 0..sig.len() {
-                if file.is_test_code(sig.offset(i)) {
-                    continue;
-                }
-                // `thread::spawn` — but not `scope.spawn(...)`.
-                if sig.matches(i, &["thread", "::", "spawn"]) {
-                    let spawn_ix = i + SigView::width(&["thread", "::"]);
-                    out.push(finding_at(
-                        self.id(),
-                        file,
-                        sig.line(spawn_ix),
-                        "`thread::spawn` detaches from the caller: use \
-                         `std::thread::scope` so shards join deterministically"
-                            .to_string(),
-                    ));
-                }
-                if uses_scope && lock_push_at(&sig, i) {
-                    out.push(finding_at(
-                        self.id(),
-                        file,
-                        sig.line(i),
-                        "Mutex lock-and-push accumulates in completion order inside a \
-                         scoped sweep: collect per-shard and merge in shard order"
-                            .to_string(),
-                    ));
-                }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let sig = SigView::new(file);
+        let uses_scope =
+            (0..sig.len()).any(|i| sig.matches(i, &["thread", "::", "scope"]));
+        for i in 0..sig.len() {
+            if file.is_test_code(sig.offset(i)) {
+                continue;
+            }
+            // `thread::spawn` — but not `scope.spawn(...)`.
+            if sig.matches(i, &["thread", "::", "spawn"]) {
+                let spawn_ix = i + SigView::width(&["thread", "::"]);
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(spawn_ix),
+                    "`thread::spawn` detaches from the caller: use \
+                     `std::thread::scope` so shards join deterministically"
+                        .to_string(),
+                ));
+            }
+            if uses_scope && lock_push_at(&sig, i) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    "Mutex lock-and-push accumulates in completion order inside a \
+                     scoped sweep: collect per-shard and merge in shard order"
+                        .to_string(),
+                ));
             }
         }
     }

@@ -1,14 +1,20 @@
 //! Determinism rules: no unordered iteration in deterministic crates,
 //! no wall-clock reads, no unseeded randomness.
 
-use super::{finding_at, Finding, Rule, SigView};
-use crate::Workspace;
+use super::{finding_at, FileRule, Finding, SigView};
+use crate::source::SourceFile;
 
 /// Crates whose outputs the ROADMAP pins byte-identical across runs,
 /// platforms and worker counts. Unordered containers are banned there
 /// outright — even an un-iterated `HashMap` invites the next editor to
 /// iterate it.
-pub const DETERMINISTIC_CRATES: [&str; 8] = [
+///
+/// The list is closed under path dependencies: the
+/// `deterministic-closure` rule proves from the parsed crate graph that
+/// every path dependency of a member is itself a member (or a reasoned
+/// allow entry), and that each member's manifest carries the matching
+/// `[package.metadata.conformance] deterministic = true` marker.
+pub const DETERMINISTIC_CRATES: [&str; 9] = [
     "world",
     "scenario-forge",
     "bgp-sim",
@@ -17,46 +23,45 @@ pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "chaos",
     "campaign",
     "telemetry",
+    "net-model",
 ];
 
 /// `no-unordered-iteration`: `HashMap`/`HashSet` in a deterministic
 /// crate. ROADMAP mandates `BTreeMap`/`BTreeSet` or sorted order.
 pub struct NoUnorderedIteration;
 
-impl Rule for NoUnorderedIteration {
+impl FileRule for NoUnorderedIteration {
     fn id(&self) -> &'static str {
         "no-unordered-iteration"
     }
 
     fn description(&self) -> &'static str {
         "HashMap/HashSet are banned in deterministic crates (world, scenario-forge, \
-         bgp-sim, workflow, registry, chaos, campaign, telemetry); use \
+         bgp-sim, workflow, registry, chaos, campaign, telemetry, net-model); use \
          BTreeMap/BTreeSet or sorted vectors"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
-            if !DETERMINISTIC_CRATES.contains(&file.crate_name()) {
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name()) {
+            return;
+        }
+        let sig = SigView::new(file);
+        for i in 0..sig.len() {
+            if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
                 continue;
             }
-            let sig = SigView::new(file);
-            for i in 0..sig.len() {
-                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
-                    continue;
-                }
-                let name = sig.text(i);
-                if name == "HashMap" || name == "HashSet" {
-                    out.push(finding_at(
-                        self.id(),
-                        file,
-                        sig.line(i),
-                        format!(
-                            "`{name}` in deterministic crate `{}`: iteration order is \
-                             unordered; use BTreeMap/BTreeSet or a sorted vector",
-                            file.crate_name()
-                        ),
-                    ));
-                }
+            let name = sig.text(i);
+            if name == "HashMap" || name == "HashSet" {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    format!(
+                        "`{name}` in deterministic crate `{}`: iteration order is \
+                         unordered; use BTreeMap/BTreeSet or a sorted vector",
+                        file.crate_name()
+                    ),
+                ));
             }
         }
     }
@@ -70,7 +75,7 @@ impl Rule for NoUnorderedIteration {
 /// directories are exempt wholesale.
 pub struct NoWallClock;
 
-impl Rule for NoWallClock {
+impl FileRule for NoWallClock {
     fn id(&self) -> &'static str {
         "no-wall-clock"
     }
@@ -80,28 +85,26 @@ impl Rule for NoWallClock {
          deterministic code takes time as an explicit SimTime input"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
-            if file.in_benches_dir {
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.in_benches_dir {
+            return;
+        }
+        let sig = SigView::new(file);
+        for i in 0..sig.len() {
+            if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
                 continue;
             }
-            let sig = SigView::new(file);
-            for i in 0..sig.len() {
-                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
-                    continue;
-                }
-                let name = sig.text(i);
-                if name == "Instant" || name == "SystemTime" {
-                    out.push(finding_at(
-                        self.id(),
-                        file,
-                        sig.line(i),
-                        format!(
-                            "`{name}` reads the wall clock: deterministic code must take \
-                             time as an explicit input (SimTime), not sample it"
-                        ),
-                    ));
-                }
+            let name = sig.text(i);
+            if name == "Instant" || name == "SystemTime" {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    format!(
+                        "`{name}` reads the wall clock: deterministic code must take \
+                         time as an explicit input (SimTime), not sample it"
+                    ),
+                ));
             }
         }
     }
@@ -114,7 +117,7 @@ pub struct NoUnseededRng;
 /// Identifiers that always mean entropy-seeded randomness.
 const UNSEEDED: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
 
-impl Rule for NoUnseededRng {
+impl FileRule for NoUnseededRng {
     fn id(&self) -> &'static str {
         "no-unseeded-rng"
     }
@@ -124,33 +127,31 @@ impl Rule for NoUnseededRng {
          must flow from an explicit seed (StdRng::seed_from_u64)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for file in &ws.files {
-            if file.in_benches_dir {
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.in_benches_dir {
+            return;
+        }
+        let sig = SigView::new(file);
+        for i in 0..sig.len() {
+            if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
                 continue;
             }
-            let sig = SigView::new(file);
-            for i in 0..sig.len() {
-                if !sig.is_ident(i) || file.is_test_code(sig.offset(i)) {
-                    continue;
-                }
-                let name = sig.text(i);
-                let qual_w = SigView::width(&["rand", "::"]);
-                let hit = UNSEEDED.contains(&name)
-                    || (name == "random"
-                        && i >= qual_w
-                        && sig.matches(i - qual_w, &["rand", "::"]));
-                if hit {
-                    out.push(finding_at(
-                        self.id(),
-                        file,
-                        sig.line(i),
-                        format!(
-                            "`{name}` draws entropy-seeded randomness: seed an StdRng \
-                             from the scenario/world config instead"
-                        ),
-                    ));
-                }
+            let name = sig.text(i);
+            let qual_w = SigView::width(&["rand", "::"]);
+            let hit = UNSEEDED.contains(&name)
+                || (name == "random"
+                    && i >= qual_w
+                    && sig.matches(i - qual_w, &["rand", "::"]));
+            if hit {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    format!(
+                        "`{name}` draws entropy-seeded randomness: seed an StdRng \
+                         from the scenario/world config instead"
+                    ),
+                ));
             }
         }
     }

@@ -1,0 +1,152 @@
+//! Float-ordering rule: deterministic crates must compare floats with
+//! `total_cmp` and round explicitly before casting to integers.
+
+use super::{finding_at, FileRule, Finding, SigView};
+use crate::lexer::TokenKind;
+use crate::rules::determinism::DETERMINISTIC_CRATES;
+use crate::source::SourceFile;
+
+/// Integer types an `as` cast silently truncates a float into.
+const INT_TARGETS: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Methods that make the rounding mode explicit; a cast applied straight
+/// to their result is fine (`(x * 1e6).round() as i64`).
+const ROUNDING: [&str; 4] = ["round", "floor", "ceil", "trunc"];
+
+/// `float-total-order`: in deterministic crates, non-test code must not
+///
+/// 1. call `.partial_cmp(...)` — on floats it returns `None` for NaN,
+///    and every call site here either unwraps (a panic waiting for a
+///    NaN) or folds to `Ordering::Equal` (which makes the comparator
+///    intransitive, an unstable-sort landmine). `f64::total_cmp` is the
+///    IEEE 754 total order: deterministic on every input;
+/// 2. cast float-valued expressions to integers with a bare `as` — the
+///    implicit truncation hides the rounding mode. Spell it:
+///    `.trunc()`, `.round()`, `.floor()` or `.ceil()` before the cast.
+///
+/// PR 6 burned the then-existing `partial_cmp` unwraps down to
+/// `total_cmp` by hand; this rule keeps them down.
+pub struct FloatTotalOrder;
+
+impl FileRule for FloatTotalOrder {
+    fn id(&self) -> &'static str {
+        "float-total-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "deterministic crates must compare floats with total_cmp (partial_cmp is \
+         banned) and make rounding explicit before float→integer `as` casts"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name()) {
+            return;
+        }
+        let sig = SigView::new(file);
+        for i in 0..sig.len() {
+            if file.is_test_code(sig.offset(i)) {
+                continue;
+            }
+            // 1. `.partial_cmp(` — the leading `.` keeps `fn partial_cmp`
+            // in a PartialOrd impl (which delegates to `cmp`) legal.
+            if sig.matches(i, &[".", "partial_cmp", "("]) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i + 1),
+                    "`.partial_cmp(...)` is not a total order (NaN ⇒ None): use \
+                     `total_cmp` so float comparisons are deterministic on every \
+                     input"
+                        .to_string(),
+                ));
+            }
+            // 2. `<float expr> as <int>` without an explicit rounding call.
+            if sig.text(i) == "as"
+                && i + 1 < sig.len()
+                && INT_TARGETS.contains(&sig.text(i + 1))
+                && i > 0
+                && float_evidence_before(&sig, i)
+                && !explicit_rounding_before(&sig, i)
+            {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    format!(
+                        "float → `{}` via bare `as` truncates with an implicit \
+                         rounding mode: spell it (`.trunc()`, `.round()`, \
+                         `.floor()`, `.ceil()`) before the cast",
+                        sig.text(i + 1)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the token is a float literal (`1.5`, `1e6`, `2f64`).
+fn is_float_lit(sig: &SigView<'_>, i: usize) -> bool {
+    if sig.kind(i) != TokenKind::NumLit {
+        return false;
+    }
+    let t = sig.text(i);
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    if t.ends_with("f32") || t.ends_with("f64") {
+        return true;
+    }
+    // Integer suffixes contain letters too (`3usize` has an `e`).
+    if INT_TARGETS.iter().any(|s| t.ends_with(s)) {
+        return false;
+    }
+    t.contains('.') || t.contains('e') || t.contains('E')
+}
+
+/// Whether the expression ending just before the `as` at `i` carries
+/// lexical float evidence: a float literal, or a parenthesized group
+/// containing a float literal or an `f32`/`f64` ident.
+fn float_evidence_before(sig: &SigView<'_>, i: usize) -> bool {
+    let j = i - 1;
+    if is_float_lit(sig, j) {
+        return true;
+    }
+    if sig.text(j) != ")" {
+        return false;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0usize;
+    let mut k = j;
+    loop {
+        match sig.text(k) {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+    ((k + 1)..j).any(|m| {
+        is_float_lit(sig, m) || (sig.is_ident(m) && matches!(sig.text(m), "f32" | "f64"))
+    })
+}
+
+/// Whether the cast operand is exactly a `.round()`-family call:
+/// `... .round() as i64`.
+fn explicit_rounding_before(sig: &SigView<'_>, i: usize) -> bool {
+    i >= 4
+        && sig.text(i - 1) == ")"
+        && sig.text(i - 2) == "("
+        && ROUNDING.contains(&sig.text(i - 3))
+        && sig.text(i - 4) == "."
+}

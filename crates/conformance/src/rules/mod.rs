@@ -1,23 +1,35 @@
 //! The rule framework.
 //!
-//! A rule walks the lexed workspace and emits [`Finding`]s. Rules see
-//! the whole [`Workspace`] so cross-file invariants (like the
-//! dense/reference engine pairing) are expressible; single-file rules
-//! just loop. Adding a rule: implement [`Rule`], register it in
-//! [`all_rules`], add a violating + clean fixture under
-//! `fixtures/`, and document it in the README table.
+//! Rules come in two shapes. A [`FileRule`] checks one file at a time —
+//! these are the parallelizable, cacheable majority, sharded across
+//! workers by the scanner ([`crate::scan`]). A workspace [`Rule`] sees
+//! the whole [`Workspace`] (and its crate graph), so cross-file
+//! invariants like the dense/reference engine pairing and the
+//! dependency closure are expressible; those run serially after the
+//! per-file pass. Adding a rule: implement the right trait, register it
+//! in [`file_rules`] / [`workspace_rules`], add a violating + clean
+//! fixture under `fixtures/`, and document it in the README table.
 
 use crate::source::SourceFile;
 use crate::Workspace;
 
+pub mod closure;
 pub mod concurrency;
 pub mod determinism;
+pub mod float_order;
 pub mod paired_engines;
 pub mod panic_budget;
+pub mod shared_mutation;
 
 /// Rule id used for malformed `conformance:` comments (reported by the
-/// engine itself, not a [`Rule`] impl).
+/// engine itself, not a rule impl).
 pub const PRAGMA_SYNTAX: &str = "pragma-syntax";
+
+/// Rule id for allow pragmas that suppress nothing (reported by the
+/// engine after pragma filtering — see [`crate::scan_workspace`]). Like
+/// the baseline, the pragma set is shrink-only: a pragma whose finding
+/// was burned down must be deleted, not left to rot.
+pub const UNUSED_PRAGMA: &str = "unused-pragma";
 
 /// One diagnostic: a rule violated at a file/line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,23 +54,92 @@ impl Finding {
     }
 }
 
-/// A static-analysis rule over the lexed workspace.
+/// Where workspace rules deposit findings — plus the allow pragmas they
+/// consumed *internally* (the panic budget skips allowed sites while
+/// counting instead of emitting per-site findings), so the
+/// unused-pragma check knows those pragmas earn their keep.
+#[derive(Debug, Default)]
+pub struct Sink {
+    pub findings: Vec<Finding>,
+    /// `(file, rule, target line)` of internally-consumed pragmas.
+    pub used_allows: Vec<(String, String, u32)>,
+}
+
+impl Sink {
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Records that a pragma `allow(rule)` targeting `line` in `file`
+    /// suppressed something, even though no finding was emitted.
+    pub fn mark_allow_used(&mut self, file: &str, rule: &str, line: u32) {
+        self.used_allows.push((file.to_string(), rule.to_string(), line));
+    }
+}
+
+/// A rule over one source file. Implementations must not consult
+/// anything beyond the file — the scanner runs them in parallel and
+/// caches their findings per file content.
+pub trait FileRule {
+    fn id(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// A static-analysis rule over the whole lexed workspace (cross-file or
+/// crate-graph context; runs serially after the per-file pass).
 pub trait Rule {
     fn id(&self) -> &'static str;
     fn description(&self) -> &'static str;
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    fn check(&self, ws: &Workspace, sink: &mut Sink);
 }
 
-/// Every active rule, in reporting order.
-pub fn all_rules() -> Vec<Box<dyn Rule>> {
+/// Every per-file rule, in reporting order.
+pub fn file_rules() -> Vec<Box<dyn FileRule>> {
     vec![
         Box::new(determinism::NoUnorderedIteration),
         Box::new(determinism::NoWallClock),
         Box::new(determinism::NoUnseededRng),
         Box::new(concurrency::ScopedThreadsOnly),
+        Box::new(float_order::FloatTotalOrder),
+        Box::new(shared_mutation::NoSharedMutation),
+    ]
+}
+
+/// Every workspace-level rule, in reporting order.
+pub fn workspace_rules() -> Vec<Box<dyn Rule>> {
+    vec![
         Box::new(panic_budget::PanicBudget),
         Box::new(paired_engines::PairedEngines),
+        Box::new(closure::DeterministicClosure),
     ]
+}
+
+/// Id + description of one active rule (for the report).
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub description: &'static str,
+}
+
+/// Every active rule, in reporting order: the per-file rules, the
+/// workspace rules, then the engine-level pragma-hygiene check.
+pub fn all_rules() -> Vec<RuleInfo> {
+    let mut out: Vec<RuleInfo> = file_rules()
+        .iter()
+        .map(|r| RuleInfo { id: r.id(), description: r.description() })
+        .collect();
+    out.extend(
+        workspace_rules()
+            .iter()
+            .map(|r| RuleInfo { id: r.id(), description: r.description() }),
+    );
+    out.push(RuleInfo {
+        id: UNUSED_PRAGMA,
+        description:
+            "a `// conformance: allow(...)` pragma that suppresses no finding is \
+             itself a finding; the pragma set is shrink-only, like the baseline",
+    });
+    out
 }
 
 /// Emits one finding anchored at a token occurrence.
@@ -81,7 +162,7 @@ pub(crate) fn finding_at(
 /// token indices, so rules can look around occurrences cheaply.
 pub(crate) struct SigView<'a> {
     pub file: &'a SourceFile,
-    pub idx: Vec<usize>,
+    pub idx: &'a [usize],
 }
 
 impl<'a> SigView<'a> {
@@ -108,6 +189,10 @@ impl<'a> SigView<'a> {
 
     pub fn is_ident(&self, i: usize) -> bool {
         matches!(self.file.tokens[self.idx[i]].kind, crate::lexer::TokenKind::Ident)
+    }
+
+    pub fn kind(&self, i: usize) -> crate::lexer::TokenKind {
+        self.file.tokens[self.idx[i]].kind
     }
 
     /// Whether significant tokens starting at `i` spell out `pattern`.

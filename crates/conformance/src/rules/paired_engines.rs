@@ -1,8 +1,9 @@
 //! Paired-engines rule: the dense BGP routing engine and its retained
 //! seed oracle must stay feature-paired.
 
-use super::{Finding, Rule, SigView};
+use super::{Finding, Rule, SigView, Sink};
 use crate::source::SourceFile;
+use crate::syntax::ItemKind;
 use crate::Workspace;
 
 const ROUTING: &str = "crates/bgp-sim/src/routing.rs";
@@ -28,13 +29,13 @@ impl Rule for PairedEngines {
          routing engine and routing::reference must match exactly"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, sink: &mut Sink) {
         let Some(routing) = ws.file(ROUTING) else {
-            out.push(missing(self.id(), ROUTING, "the dense/reference routing engines"));
+            sink.push(missing(self.id(), ROUTING, "the dense/reference routing engines"));
             return;
         };
         let Some(events) = ws.file(EVENTS) else {
-            out.push(missing(self.id(), EVENTS, "the EventKind declaration"));
+            sink.push(missing(self.id(), EVENTS, "the EventKind declaration"));
             return;
         };
 
@@ -43,22 +44,24 @@ impl Rule for PairedEngines {
         match struct_fields(routing, "PolicyOverrides") {
             Some(fields) => tracked.extend(fields),
             None => {
-                out.push(missing(self.id(), ROUTING, "the PolicyOverrides struct"));
+                sink.push(missing(self.id(), ROUTING, "the PolicyOverrides struct"));
                 return;
             }
         }
         match enum_variants(events, "EventKind") {
             Some(variants) => tracked.extend(variants),
             None => {
-                out.push(missing(self.id(), EVENTS, "the EventKind enum"));
+                sink.push(missing(self.id(), EVENTS, "the EventKind enum"));
                 return;
             }
         }
 
-        let Some((ref_start, ref_end)) = mod_span(&sig, "reference") else {
-            out.push(missing(self.id(), ROUTING, "the routing::reference module"));
+        // The item tree locates the retained oracle module directly.
+        let Some(reference) = routing.tree.find(ItemKind::Mod, "reference") else {
+            sink.push(missing(self.id(), ROUTING, "the routing::reference module"));
             return;
         };
+        let (ref_start, ref_end) = (reference.start, reference.end);
 
         // First reference line per tracked name, per engine region.
         for name in tracked {
@@ -86,7 +89,7 @@ impl Rule for PairedEngines {
                 (None, Some(l)) => (l, "routing::reference", "the dense engine"),
                 _ => continue,
             };
-            out.push(Finding {
+            sink.push(Finding {
                 rule: self.id(),
                 file: ROUTING.to_string(),
                 line,
@@ -184,25 +187,4 @@ fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<String>> {
         i += 1;
     }
     Some(variants)
-}
-
-/// Byte span of `mod <name> { ... }` in the significant-token stream.
-fn mod_span(sig: &SigView<'_>, name: &str) -> Option<(usize, usize)> {
-    let start = (0..sig.len())
-        .find(|&i| sig.text(i) == "mod" && sig.matches(i + 1, &[name]))?;
-    let open = (start..sig.len()).find(|&i| sig.text(i) == "{")?;
-    let mut depth = 0usize;
-    for i in open..sig.len() {
-        match sig.text(i) {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((sig.offset(start), sig.offset(i) + 1));
-                }
-            }
-            _ => {}
-        }
-    }
-    None
 }

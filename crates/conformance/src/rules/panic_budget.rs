@@ -1,7 +1,7 @@
 //! Panic-budget rule: per-crate ceilings on panic sites in serving-path
 //! code.
 
-use super::{Finding, Rule, SigView};
+use super::{Finding, Rule, SigView, Sink};
 use crate::Workspace;
 
 /// The checked-in budget table: serving-path crates and the maximum
@@ -39,7 +39,9 @@ pub const BUDGETS: [(&str, usize); 6] = [
 
 /// `panic-budget`: counts panic sites per budgeted crate and reports
 /// crates over their ceiling. Individual sites can be acknowledged with
-/// `// conformance: allow(panic-budget, reason = "...")`.
+/// `// conformance: allow(panic-budget, reason = "...")` — consumed
+/// pragmas are reported to the [`Sink`] so the unused-pragma check
+/// knows they earn their keep.
 pub struct PanicBudget;
 
 impl Rule for PanicBudget {
@@ -53,7 +55,7 @@ impl Rule for PanicBudget {
          PipelineError/ToolError propagation"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, sink: &mut Sink) {
         for (crate_dir, budget) in BUDGETS {
             let prefix = format!("crates/{crate_dir}/src/");
             let mut sites: Vec<(String, u32)> = Vec::new();
@@ -71,7 +73,12 @@ impl Rule for PanicBudget {
                         "panic" | "unreachable" => sig.matches(i + 1, &["!"]),
                         _ => false,
                     };
-                    if is_site && !file.allowed(self.id(), sig.line(i)) {
+                    if !is_site {
+                        continue;
+                    }
+                    if file.allowed(self.id(), sig.line(i)) {
+                        sink.mark_allow_used(&file.rel_path, self.id(), sig.line(i));
+                    } else {
                         sites.push((file.rel_path.clone(), sig.line(i)));
                     }
                 }
@@ -82,7 +89,7 @@ impl Rule for PanicBudget {
                     .take(3)
                     .map(|(f, l)| format!("{f}:{l}"))
                     .collect();
-                out.push(Finding {
+                sink.push(Finding {
                     rule: self.id(),
                     file: format!("crates/{crate_dir}"),
                     line: 0,

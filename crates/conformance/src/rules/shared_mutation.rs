@@ -1,0 +1,76 @@
+//! Shared-mutation rule: no ambient mutable state in deterministic
+//! crates.
+
+use super::{finding_at, FileRule, Finding, SigView};
+use crate::rules::determinism::DETERMINISTIC_CRATES;
+use crate::source::SourceFile;
+
+/// `no-shared-mutation`: in deterministic crates, non-test code must not
+/// use
+///
+/// 1. `static mut` — ambient mutable state is a hidden input, and every
+///    access is `unsafe` besides;
+/// 2. `thread_local!` — per-thread state makes output a function of
+///    *which worker* ran the code, breaking 1/2/8-worker invariance;
+/// 3. `Ordering::Relaxed` — relaxed atomics let counter reads diverge
+///    between runs and worker interleavings. Use `SeqCst` (these
+///    counters are never hot enough to justify weaker orderings).
+///
+/// This extends `scoped-threads-only`: scoped sweeps guarantee the
+/// *join* is deterministic; this rule keeps the state the shards share
+/// deterministic too.
+pub struct NoSharedMutation;
+
+impl FileRule for NoSharedMutation {
+    fn id(&self) -> &'static str {
+        "no-shared-mutation"
+    }
+
+    fn description(&self) -> &'static str {
+        "static mut, thread_local! and Ordering::Relaxed are banned in \
+         deterministic crates; state must be an explicit input and atomics SeqCst"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !DETERMINISTIC_CRATES.contains(&file.crate_name()) {
+            return;
+        }
+        let sig = SigView::new(file);
+        for i in 0..sig.len() {
+            if file.is_test_code(sig.offset(i)) {
+                continue;
+            }
+            if sig.matches(i, &["static", "mut"]) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    "`static mut` is ambient mutable state — a hidden input to \
+                     every function that touches it; pass state explicitly"
+                        .to_string(),
+                ));
+            }
+            if sig.matches(i, &["thread_local", "!"]) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    "`thread_local!` makes output depend on which worker ran the \
+                     code, breaking 1/2/8-worker invariance; share state through \
+                     explicit inputs or per-shard vectors"
+                        .to_string(),
+                ));
+            }
+            if sig.matches(i, &["Ordering", "::", "Relaxed"]) {
+                out.push(finding_at(
+                    self.id(),
+                    file,
+                    sig.line(i),
+                    "`Ordering::Relaxed` lets atomic reads diverge between runs and \
+                     interleavings; use SeqCst in deterministic crates"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

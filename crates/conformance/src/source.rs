@@ -4,6 +4,7 @@ use std::path::Path;
 
 use crate::lexer::{lex, Token, TokenKind};
 use crate::pragma::{parse_pragmas, Allow, PragmaError};
+use crate::syntax::ItemTree;
 
 /// Top-level directories scanned, relative to the workspace root.
 const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
@@ -14,14 +15,19 @@ const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
 const SKIP_DIRS: [&str; 3] = ["vendor", "target", "fixtures"];
 
 /// One lexed workspace source file plus everything the rules need to
-/// interpret it: which spans are test code, and which findings the
-/// author explicitly allowed.
+/// interpret it: the item tree, which spans are test code, and which
+/// findings the author explicitly allowed.
 pub struct SourceFile {
     /// Path relative to the scanned root, `/`-separated.
     pub rel_path: String,
     pub text: String,
     pub tokens: Vec<Token>,
-    /// Byte spans of `#[cfg(test)]` / `#[test]` items.
+    /// The brace-matched item tree (see [`crate::syntax`]). Test
+    /// attribution and item lookups ride this instead of offset
+    /// heuristics.
+    pub tree: ItemTree,
+    /// Byte spans of items gated on test compilation (`#[cfg(test)]`,
+    /// `#[test]`), flattened from the item tree.
     pub test_spans: Vec<(usize, usize)>,
     /// Whether the whole file is test/measurement context (under a
     /// `tests/` or `benches/` directory).
@@ -31,6 +37,9 @@ pub struct SourceFile {
     pub in_benches_dir: bool,
     pub allows: Vec<Allow>,
     pub pragma_errors: Vec<PragmaError>,
+    /// Indices of significant tokens (everything except whitespace and
+    /// comments), computed once; rules pattern-match over this stream.
+    sig_idx: Vec<usize>,
 }
 
 impl SourceFile {
@@ -42,7 +51,16 @@ impl SourceFile {
 
     pub fn from_text(rel_path: &str, text: String) -> SourceFile {
         let tokens = lex(&text);
-        let test_spans = test_spans(&text, &tokens);
+        let sig_idx: Vec<usize> = (0..tokens.len())
+            .filter(|&i| {
+                !matches!(
+                    tokens[i].kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect();
+        let tree = ItemTree::parse(&text, &tokens, &sig_idx);
+        let test_spans = tree.test_spans();
         let (allows, pragma_errors) = parse_pragmas(&text, &tokens);
         let components: Vec<&str> = rel_path.split('/').collect();
         let whole_file_test =
@@ -52,11 +70,13 @@ impl SourceFile {
             rel_path: rel_path.to_string(),
             text,
             tokens,
+            tree,
             test_spans,
             whole_file_test,
             in_benches_dir,
             allows,
             pragma_errors,
+            sig_idx,
         }
     }
 
@@ -75,8 +95,10 @@ impl SourceFile {
         &self.text[t.start..t.end]
     }
 
-    /// Whether the byte offset falls in test context (whole-file or a
-    /// `#[cfg(test)]` span).
+    /// Whether the byte offset falls in test context: whole-file test
+    /// context, or inside an item the tree attributes to test
+    /// compilation (`#[cfg(test)]` / `#[test]` — but not
+    /// `#[cfg(not(test))]`, which is live code).
     pub fn is_test_code(&self, offset: usize) -> bool {
         self.whole_file_test
             || self.test_spans.iter().any(|&(s, e)| offset >= s && offset < e)
@@ -89,16 +111,9 @@ impl SourceFile {
     }
 
     /// Indices of significant tokens: everything except whitespace and
-    /// comments. Rules pattern-match over this stream.
-    pub fn sig(&self) -> Vec<usize> {
-        (0..self.tokens.len())
-            .filter(|&i| {
-                !matches!(
-                    self.tokens[i].kind,
-                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-                )
-            })
-            .collect()
+    /// comments.
+    pub fn sig(&self) -> &[usize] {
+        &self.sig_idx
     }
 
     /// The trimmed text of a 1-based line (for diagnostics and baseline
@@ -110,107 +125,6 @@ impl SourceFile {
             .unwrap_or("")
             .trim()
     }
-}
-
-/// Finds byte spans of test-only items: an outer attribute sequence
-/// containing `cfg(test)` or `test`, covering the item it annotates (to
-/// its closing brace, or to `;` for brace-less items).
-fn test_spans(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
-    let sig: Vec<usize> = (0..tokens.len())
-        .filter(|&i| {
-            !matches!(
-                tokens[i].kind,
-                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-            )
-        })
-        .collect();
-    let txt = |i: usize| &text[tokens[sig[i]].start..tokens[sig[i]].end];
-
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < sig.len() {
-        if txt(i) != "#" || i + 1 >= sig.len() || txt(i + 1) != "[" {
-            i += 1;
-            continue;
-        }
-        let attr_start = tokens[sig[i]].start;
-        // Scan the bracketed attribute, remembering whether it gates on
-        // test compilation.
-        let mut j = i + 1;
-        let mut depth = 0usize;
-        let mut is_test_attr = false;
-        let mut saw_cfg = false;
-        while j < sig.len() {
-            match txt(j) {
-                "[" | "(" => depth += 1,
-                "]" | ")" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                "cfg" => saw_cfg = true,
-                // `#[test]` or `#[cfg(test)]` (also matches inside
-                // `#[cfg(all(test, ...))]`, which is what we want).
-                "test" if saw_cfg || depth == 1 => is_test_attr = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !is_test_attr {
-            i = j + 1;
-            continue;
-        }
-        // Skip any further attributes, then cover the annotated item.
-        let mut k = j + 1;
-        while k + 1 < sig.len() && txt(k) == "#" && txt(k + 1) == "[" {
-            let mut d = 0usize;
-            k += 1;
-            while k < sig.len() {
-                match txt(k) {
-                    "[" | "(" => d += 1,
-                    "]" | ")" => {
-                        d -= 1;
-                        if d == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            k += 1;
-        }
-        // Find the item body: the first `{` at nesting level 0 (then its
-        // matching `}`), or a `;` before any brace.
-        let mut d = 0usize;
-        let mut end = None;
-        while k < sig.len() {
-            match txt(k) {
-                "{" => d += 1,
-                "}" => {
-                    d = d.saturating_sub(1);
-                    if d == 0 {
-                        end = Some(tokens[sig[k]].end);
-                        break;
-                    }
-                }
-                ";" if d == 0 => {
-                    end = Some(tokens[sig[k]].end);
-                    break;
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        let end = end.unwrap_or(text.len());
-        spans.push((attr_start, end));
-        // Continue after the span.
-        while i < sig.len() && tokens[sig[i]].start < end {
-            i += 1;
-        }
-    }
-    spans
 }
 
 /// Recursively collects the workspace's `.rs` files under the scan
@@ -274,6 +188,25 @@ mod tests {
                    #[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
         let f = SourceFile::from_text("crates/demo/src/lib.rs", src.to_string());
         assert!(f.is_test_code(src.find("a.unwrap").unwrap()));
+        assert!(f.is_test_code(src.find("HashMap").unwrap()));
+        assert!(!f.is_test_code(src.find("fn live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        // The pre-item-tree span heuristic treated any attribute
+        // containing `cfg` + `test` as test-gated, so `#[cfg(not(test))]`
+        // items escaped every rule. The tree reads the predicate.
+        let src = "#[cfg(not(test))]\nfn live_only() { h(HashMap::new()); }\n";
+        let f = SourceFile::from_text("crates/demo/src/lib.rs", src.to_string());
+        assert!(!f.is_test_code(src.find("HashMap").unwrap()));
+    }
+
+    #[test]
+    fn nested_items_inside_cfg_test_mod_are_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n  mod helpers {\n    pub fn mk() { x.unwrap(); }\n  }\n  struct Fixture { map: HashMap<u32, u32> }\n}\nfn live() {}\n";
+        let f = SourceFile::from_text("crates/demo/src/lib.rs", src.to_string());
+        assert!(f.is_test_code(src.find("x.unwrap").unwrap()));
         assert!(f.is_test_code(src.find("HashMap").unwrap()));
         assert!(!f.is_test_code(src.find("fn live").unwrap()));
     }

@@ -44,6 +44,26 @@ fn violating_fixture_trips_every_rule() {
     assert_eq!(budget.file, "crates/core");
     assert!(budget.message.contains("panics.rs"), "sites listed: {}", budget.message);
 
+    // float-total-order: the partial_cmp sort and the bare float cast —
+    // but not the clean tree's `.trunc()`/`.round()` casts.
+    assert_eq!(rule_count(f, "float-total-order"), 2);
+    assert!(f
+        .iter()
+        .filter(|x| x.rule == "float-total-order")
+        .all(|x| x.file == "crates/world/src/floats.rs"));
+
+    // no-shared-mutation: static mut + thread_local! + Relaxed.
+    assert_eq!(rule_count(f, "no-shared-mutation"), 3);
+    assert!(f
+        .iter()
+        .any(|x| x.rule == "no-shared-mutation" && x.snippet.contains("static mut")));
+
+    // unused-pragma: the allow that suppresses nothing.
+    assert_eq!(rule_count(f, "unused-pragma"), 1);
+    let stale = f.iter().find(|x| x.rule == "unused-pragma").expect("present");
+    assert_eq!(stale.file, "crates/world/src/stale_pragma.rs");
+    assert!(stale.message.contains("no-wall-clock"), "{}", stale.message);
+
     // paired-engines: the dense-only field and the dense-only variant.
     assert_eq!(rule_count(f, "paired-engines"), 2);
     let drifted: Vec<&str> = f
@@ -93,6 +113,60 @@ fn pragma_allow_suppresses_with_reason_only() {
         .any(|f| f.rule == "no-unordered-iteration"
             && f.file == "crates/world/src/malformed.rs"
             && f.snippet.contains("use std::collections::HashMap")));
+}
+
+#[test]
+fn deps_violating_fixture_breaks_the_closure() {
+    let scan = scan(&fixture("deps-violating")).expect("fixture scans");
+    let closure: Vec<&Finding> = scan
+        .findings
+        .iter()
+        .filter(|f| f.rule == "deterministic-closure")
+        .collect();
+    assert_eq!(closure.len(), 5, "got {closure:#?}");
+
+    // Marker/list drift, both directions.
+    assert!(closure
+        .iter()
+        .any(|f| f.file == "crates/registry/Cargo.toml" && f.message.contains("lacks")));
+    assert!(closure.iter().any(|f| f.file == "crates/extra/Cargo.toml"
+        && f.message.contains("absent from DETERMINISTIC_CRATES")));
+
+    // All three bad edges out of `world`: the nondeterministic workspace
+    // dep, the unapproved vendored path dep, and the external spec.
+    let world: Vec<_> =
+        closure.iter().filter(|f| f.file == "crates/world/Cargo.toml").collect();
+    assert_eq!(world.len(), 3);
+    assert!(world.iter().any(|f| f.message.contains("`llm`")));
+    assert!(world.iter().any(|f| f.message.contains("`vendor/criterion`")));
+    assert!(world
+        .iter()
+        .any(|f| f.message.contains("external dependency `rand_core`")));
+
+    // The findings are semantic, not parse failures.
+    assert!(scan.graph.as_ref().expect("graph parsed").errors.is_empty());
+}
+
+#[test]
+fn deps_clean_fixture_closure_holds() {
+    let scan = scan(&fixture("deps-clean")).expect("fixture scans");
+    assert_eq!(rule_count(&scan.findings, "deterministic-closure"), 0);
+    // The only finding is paired-engines noting the tree has no routing
+    // engines to pair — this fixture exercises the manifest layer only.
+    assert!(
+        scan.findings.iter().all(|f| f.rule == "paired-engines"),
+        "closure-clean tree is clean at the manifest layer: {:#?}",
+        scan.findings
+    );
+
+    let graph = scan.graph.as_ref().expect("manifests parsed");
+    assert!(graph.is_deterministic("world"));
+    assert!(graph.is_deterministic("net-model"));
+    let world = graph.package("world").expect("world in graph");
+    assert!(
+        world.deps.iter().any(|d| d.key.as_deref() == Some("vendor/serde")),
+        "the workspace-table serde dep resolves to the vendored stand-in"
+    );
 }
 
 #[test]

@@ -1,0 +1,187 @@
+//! The item tree's structural contract, pinned like the lexer's: sibling
+//! spans never overlap and ascend, children nest strictly inside their
+//! parents, and on brace-balanced input (every real source file) the
+//! top-level spans cover every significant token — proved over generated
+//! item soup and over every workspace source.
+
+use std::path::PathBuf;
+
+use conformance::lexer::{lex, TokenKind};
+use conformance::source;
+use conformance::syntax::{Item, ItemKind, ItemTree};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+fn sig_indices(src: &str) -> Vec<usize> {
+    let tokens = lex(src);
+    (0..tokens.len())
+        .filter(|&i| {
+            !matches!(
+                tokens[i].kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect()
+}
+
+/// Checks one sibling list: spans non-empty, ascending, non-overlapping,
+/// inside `[lo, hi)`, recursively for children.
+fn check_siblings(items: &[Item], lo: usize, hi: usize, src: &str) -> Result<(), String> {
+    let mut cursor = lo;
+    for item in items {
+        prop_assert!(
+            item.start >= cursor,
+            "sibling spans overlap at byte {} (prev ended {}) in {:?}",
+            item.start,
+            cursor,
+            src
+        );
+        prop_assert!(
+            item.end > item.start,
+            "empty item span at byte {} in {:?}",
+            item.start,
+            src
+        );
+        prop_assert!(
+            item.end <= hi,
+            "item span [{}, {}) escapes its parent (ends {}) in {:?}",
+            item.start,
+            item.end,
+            hi,
+            src
+        );
+        check_siblings(&item.children, item.start, item.end, src)?;
+        cursor = item.end;
+    }
+    Ok(())
+}
+
+/// Parses `src` and checks every tree invariant. Returns whether the
+/// significant token stream was brace-balanced (the precondition for the
+/// full-coverage invariant, which is asserted whenever it holds).
+fn check_tree(src: &str) -> Result<bool, String> {
+    let tokens = lex(src);
+    let sig = sig_indices(src);
+    let tree = ItemTree::parse(src, &tokens, &sig);
+    check_siblings(&tree.items, 0, src.len(), src)?;
+
+    // A stray top-level `}` legitimately truncates the item list (the
+    // parser treats it as closing an enclosing body), so coverage is
+    // only promised on balanced input.
+    let mut depth = 0i64;
+    let mut balanced = true;
+    for &i in &sig {
+        match &src[tokens[i].start..tokens[i].end] {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    balanced = false;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    if balanced {
+        for &i in &sig {
+            let s = tokens[i].start;
+            prop_assert!(
+                tree.items.iter().any(|it| s >= it.start && s < it.end),
+                "significant token at byte {} ({:?}) not covered by any item in {:?}",
+                s,
+                &src[tokens[i].start..tokens[i].end],
+                src
+            );
+        }
+    }
+    Ok(balanced)
+}
+
+/// Item-shaped fragments plus deliberate junk (stray punctuation, inner
+/// attributes, literals) the resilient parser must keep as `Other`
+/// leaves without breaking the tiling.
+fn item_fragment() -> Union<String> {
+    let lit = |s: &'static str| Just(s.to_string()).boxed();
+    Union::new(vec![
+        lit("pub fn f(x: u64) -> u64 { x + 1 }"),
+        lit("#[cfg(test)]\nmod tests { fn t() { helper(); } }"),
+        lit("#[cfg(not(test))]\nfn live() {}"),
+        lit("#[test]\nfn check() { assert!(true); }"),
+        lit("#[cfg(all(test, feature = \"x\"))]\nfn gated() {}"),
+        lit("use std::collections::BTreeMap;"),
+        lit("pub(crate) struct S { x: u64 }"),
+        lit("enum E { A, B(u32) }"),
+        lit("impl S { fn m(&self) {} }"),
+        lit("unsafe impl Send for S {}"),
+        lit("trait T { fn r(&self); }"),
+        lit("static mut G: u64 = 0;"),
+        lit("const C: usize = 3;"),
+        lit("pub const fn k() -> u8 { 0 }"),
+        lit("type Alias = Vec<u8>;"),
+        lit("macro_rules! m { () => {} }"),
+        lit("proptest! { fn p() {} }"),
+        lit("thread_local! { static X: u8 = 0; }"),
+        lit("vec![1, 2, 3];"),
+        lit("extern \"C\" { fn ffi(); }"),
+        lit("extern crate alloc;"),
+        lit("mod empty;"),
+        lit("mod nested { mod deeper { fn leaf() {} } }"),
+        lit("// a comment\n"),
+        lit("/* block */"),
+        lit(";"),
+        lit("=>"),
+        lit("#![allow(dead_code)]"),
+        lit("\"a string with } inside\""),
+        lit("\"unterminated"),
+        lit("'a'"),
+        lit("1.5e-3f64"),
+        (0u32..100).prop_map(|n| format!("fn gen_{n}() {{ let v = {n}; }}")).boxed(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_item_soup_parses_well_formed(parts in vec(item_fragment(), 0..16)) {
+        let src = parts.join("\n");
+        check_tree(&src)?;
+    }
+}
+
+#[test]
+fn every_workspace_source_has_a_covering_tree() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let files = source::collect_files(&root).expect("collects workspace sources");
+    assert!(files.len() > 80, "expected a real workspace, got {} files", files.len());
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel)).expect("readable");
+        let balanced =
+            check_tree(&text).unwrap_or_else(|msg| panic!("{rel}: {msg}"));
+        assert!(balanced, "{rel}: real sources must be brace-balanced");
+    }
+}
+
+#[test]
+fn cfg_predicates_attribute_test_code_precisely() {
+    let src = "#[cfg(not(test))]\npub fn live() { h(); }\n\
+               #[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\n\
+               #[cfg(all(test, feature = \"slow\"))]\nfn slow_check() {}\n";
+    let tokens = lex(src);
+    let sig = sig_indices(src);
+    let tree = ItemTree::parse(src, &tokens, &sig);
+
+    let spans = tree.test_spans();
+    let covered = |needle: &str| {
+        let at = src.find(needle).expect("needle present");
+        spans.iter().any(|&(s, e)| at >= s && at < e)
+    };
+    assert!(!covered("fn live"), "cfg(not(test)) is live code");
+    assert!(covered("fn t"), "cfg(test) module contents are test code");
+    assert!(covered("fn slow_check"), "cfg(all(test, ...)) is test code");
+
+    let m = tree.find(ItemKind::Mod, "tests").expect("mod tests found");
+    assert!(m.test_attr);
+}

@@ -95,8 +95,10 @@ impl GeoPoint {
     pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
         let t = t.clamp(0.0, 1.0);
         GeoPoint {
-            lat_micro: self.lat_micro + ((other.lat_micro - self.lat_micro) as f64 * t) as i64,
-            lon_micro: self.lon_micro + ((other.lon_micro - self.lon_micro) as f64 * t) as i64,
+            lat_micro: self.lat_micro
+                + ((other.lat_micro - self.lat_micro) as f64 * t).trunc() as i64,
+            lon_micro: self.lon_micro
+                + ((other.lon_micro - self.lon_micro) as f64 * t).trunc() as i64,
         }
     }
 }

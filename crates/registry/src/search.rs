@@ -82,8 +82,7 @@ pub fn search<'a>(registry: &'a Registry, query: &str, limit: usize) -> Vec<Sear
         .collect();
     hits.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap()
+            .total_cmp(&a.score)
             .then_with(|| a.entry.id.cmp(&b.entry.id))
     });
     hits.truncate(limit);

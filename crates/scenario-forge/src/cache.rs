@@ -47,7 +47,7 @@ impl WorldCache {
     pub fn get_or_generate(&self, config: &WorldConfig) -> Arc<World> {
         let slot = Arc::clone(self.slots.lock().entry(config.clone()).or_default());
         Arc::clone(slot.get_or_init(|| {
-            self.generations.fetch_add(1, Ordering::Relaxed);
+            self.generations.fetch_add(1, Ordering::SeqCst);
             Arc::new(generate(config))
         }))
     }
@@ -71,7 +71,7 @@ impl WorldCache {
     /// How many worlds this cache has actually generated — stays below
     /// [`WorldCache::len`]-many requests whenever configs repeat.
     pub fn generations(&self) -> usize {
-        self.generations.load(Ordering::Relaxed)
+        self.generations.load(Ordering::SeqCst)
     }
 
     /// Content hashes of every cached config, ascending (diagnostics).

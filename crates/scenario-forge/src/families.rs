@@ -246,7 +246,7 @@ impl Family {
                     Family::CableCutCascade => {
                         let (a, b) = CORRIDORS[(offset + i) % CORRIDORS.len()];
                         name = format!("v{i}-{}-{}", region_slug(a), region_slug(b));
-                        let cuts = 2 + (intensity * 3.0) as usize;
+                        let cuts = 2 + (intensity * 3.0).trunc() as usize;
                         // Stagger the cuts across the middle third of the
                         // horizon so the whole cascade is live at `now`
                         // even on short horizons.
@@ -330,7 +330,7 @@ impl Family {
                         // the recovery are observable before `now`.
                         let cut_at = (24 * horizon / 5).max(12);
                         let latest_end = 24 * horizon * 4 / 5;
-                        let repair_hours = (24 * (2 + (6.0 * (1.0 - intensity)) as i64))
+                        let repair_hours = (24 * (2 + (6.0 * (1.0 - intensity)).trunc() as i64))
                             .min(latest_end - cut_at)
                             .max(6);
                         script.push(ScriptStep::CutCables {
@@ -341,7 +341,7 @@ impl Family {
                     }
                     Family::CorridorCongestionStorm => {
                         name = format!("v{i}-storm");
-                        let surges = 2 + (intensity * 4.0) as usize;
+                        let surges = 2 + (intensity * 4.0).trunc() as usize;
                         // Roll the surges across the middle half of the
                         // horizon (each lasts up to 8h, clamped to fit).
                         let start = 24 * horizon / 4;
@@ -381,7 +381,7 @@ impl Family {
                                 tier: AsTier::Access,
                                 rank: i % 3,
                             },
-                            prefixes: 1 + (intensity * 3.0) as usize,
+                            prefixes: 1 + (intensity * 3.0).trunc() as usize,
                             at_hour: mid_hour,
                             until_hour: None,
                         });
@@ -392,7 +392,7 @@ impl Family {
                         // Leaks get noticed: the window closes within a
                         // day, well before `now`, so both the onset and
                         // the withdrawal churn are observable.
-                        let duration = 6 + (18.0 * intensity) as i64;
+                        let duration = 6 + (18.0 * intensity).trunc() as i64;
                         script.push(ScriptStep::LeakRoutes {
                             leaker: AsTarget::TierRank {
                                 region,

@@ -56,8 +56,7 @@ impl CableTarget {
                     .collect();
                 corridor.sort_by(|x, y| {
                     y.capacity_tbps
-                        .partial_cmp(&x.capacity_tbps)
-                        .expect("cable capacities are finite")
+                        .total_cmp(&x.capacity_tbps)
                         .then(x.id.cmp(&y.id))
                 });
                 corridor.get(*rank).map(|c| c.id).into_iter().collect()

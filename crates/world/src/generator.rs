@@ -247,7 +247,7 @@ fn add_festoon_cables(cables: &mut Vec<Cable>, cities: &[City], target: usize, r
         .into_iter()
         .map(|(a, b, d)| (d * rng.gen_range(0.6..1.4), a, b))
         .collect();
-    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+    scored.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
 
     for (_, a, b) in scored.into_iter().take(target) {
         let id = CableId(cables.len() as u32);
@@ -395,7 +395,7 @@ fn build_relationships(
                 (b, anchor.distance_km(&banchor))
             })
             .collect();
-        ranked.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(x.0.asn.cmp(&y.0.asn)));
+        ranked.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.asn.cmp(&y.0.asn)));
         let n_upstreams = 2 + (t.asn.0 as usize % 2); // deterministic 2 or 3
         for (b, _) in ranked.into_iter().take(n_upstreams) {
             rels.push(AsRelationship::transit(b.asn, t.asn));
@@ -506,7 +506,7 @@ fn build_links(
             .min_by(|&x, &y| {
                 let dx = cities[x.index()].location.distance_km(&target);
                 let dy = cities[y.index()].location.distance_km(&target);
-                dx.partial_cmp(&dy).unwrap().then(x.cmp(&y))
+                dx.total_cmp(&dy).then(x.cmp(&y))
             })
             .expect("ASes have at least one PoP")
     };

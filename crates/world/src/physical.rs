@@ -146,7 +146,7 @@ impl PhysicalGraph {
         // Deterministic neighbour order.
         for edges in adj.values_mut() {
             edges.sort_by(|x, y| {
-                x.length_km.partial_cmp(&y.length_km).unwrap_or(Ordering::Equal).then(x.to.cmp(&y.to))
+                x.length_km.total_cmp(&y.length_km).then(x.to.cmp(&y.to))
             });
         }
         PhysicalGraph { adj, node_count: cities.len() }
